@@ -1,0 +1,311 @@
+//! ARIMA trend-classification baseline (Wang & Leu [14]).
+//!
+//! Per stock, an ARIMA(p, 1, q) model is fitted on log closing prices by
+//! conditional least squares using the Hannan–Rissanen two-stage procedure:
+//! (1) a long autoregression estimates innovations; (2) OLS on lagged
+//! differences and lagged innovations gives the AR and MA coefficients. The
+//! next-day forecast is thresholded into up / neutral / down — the paper's
+//! classification baselines cannot rank, so the evaluator draws random
+//! top-N among predicted-up stocks (Section V-C.1).
+
+use rtgcn_core::{FitReport, StockRanker};
+use rtgcn_eval::CLASS_UP;
+use rtgcn_market::StockDataset;
+use std::time::Instant;
+
+/// ARIMA configuration.
+#[derive(Clone, Debug)]
+pub struct ArimaConfig {
+    /// AR order p.
+    pub p: usize,
+    /// MA order q.
+    pub q: usize,
+    /// Long-AR order for stage 1 of Hannan–Rissanen.
+    pub long_ar: usize,
+    /// Classification threshold on the forecast daily return.
+    pub threshold: f64,
+}
+
+impl Default for ArimaConfig {
+    fn default() -> Self {
+        ArimaConfig { p: 3, q: 1, long_ar: 8, threshold: 0.001 }
+    }
+}
+
+/// Fitted per-stock coefficients: intercept, AR terms, MA terms, and the
+/// trailing innovations needed for forecasting.
+#[derive(Clone, Debug, Default)]
+struct StockModel {
+    intercept: f64,
+    ar: Vec<f64>,
+    ma: Vec<f64>,
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` for (near-)singular systems.
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for (row, arow) in a.iter().enumerate() {
+        assert_eq!(arow.len(), n, "row {row} has wrong width");
+    }
+    assert_eq!(a.len(), n, "matrix must be square");
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// OLS fit `y ≈ X β` via normal equations with a tiny ridge for stability.
+fn ols(x_rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let n = x_rows.first()?.len();
+    let mut xtx = vec![vec![0.0; n]; n];
+    let mut xty = vec![0.0; n];
+    for (row, &yv) in x_rows.iter().zip(y) {
+        for i in 0..n {
+            for j in 0..n {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * yv;
+        }
+    }
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += 1e-8;
+    }
+    solve_linear(xtx, xty)
+}
+
+/// Fit AR(p)+MA(q) on a differenced series via Hannan–Rissanen. Returns the
+/// model and the full innovation series (aligned with `diffs`).
+fn fit_hannan_rissanen(diffs: &[f64], cfg: &ArimaConfig) -> (StockModel, Vec<f64>) {
+    let n = diffs.len();
+    let fallback = || {
+        let mean = diffs.iter().sum::<f64>() / n.max(1) as f64;
+        (StockModel { intercept: mean, ar: vec![0.0; cfg.p], ma: vec![0.0; cfg.q] }, vec![0.0; n])
+    };
+    if n <= cfg.long_ar + cfg.p + cfg.q + 4 {
+        return fallback();
+    }
+    // Stage 1: long AR for innovations.
+    let m = cfg.long_ar;
+    let mut rows = Vec::with_capacity(n - m);
+    let mut ys = Vec::with_capacity(n - m);
+    for t in m..n {
+        let mut row = vec![1.0];
+        row.extend((1..=m).map(|k| diffs[t - k]));
+        rows.push(row);
+        ys.push(diffs[t]);
+    }
+    let Some(beta) = ols(&rows, &ys) else { return fallback() };
+    let mut innov = vec![0.0; n];
+    for t in m..n {
+        let mut pred = beta[0];
+        for k in 1..=m {
+            pred += beta[k] * diffs[t - k];
+        }
+        innov[t] = diffs[t] - pred;
+    }
+    // Stage 2: OLS on p lagged diffs + q lagged innovations.
+    let start = m.max(cfg.p).max(cfg.q);
+    let mut rows2 = Vec::with_capacity(n - start);
+    let mut ys2 = Vec::with_capacity(n - start);
+    for t in start..n {
+        let mut row = vec![1.0];
+        row.extend((1..=cfg.p).map(|k| diffs[t - k]));
+        row.extend((1..=cfg.q).map(|k| innov[t - k]));
+        rows2.push(row);
+        ys2.push(diffs[t]);
+    }
+    let Some(beta2) = ols(&rows2, &ys2) else { return fallback() };
+    let model = StockModel {
+        intercept: beta2[0],
+        ar: beta2[1..=cfg.p].to_vec(),
+        ma: beta2[cfg.p + 1..=cfg.p + cfg.q].to_vec(),
+    };
+    (model, innov)
+}
+
+/// The ARIMA classification baseline.
+pub struct Arima {
+    pub cfg: ArimaConfig,
+    models: Vec<StockModel>,
+}
+
+impl Arima {
+    pub fn new(cfg: ArimaConfig) -> Self {
+        Arima { cfg, models: Vec::new() }
+    }
+
+    /// Log-price differences of stock `i` over days `..=end` (inclusive).
+    fn diffs_up_to(ds: &StockDataset, i: usize, end: usize) -> Vec<f64> {
+        (1..=end)
+            .map(|d| (ds.sim.price(d, i) as f64).ln() - (ds.sim.price(d - 1, i) as f64).ln())
+            .collect()
+    }
+
+    /// One-step forecast of the next diff from trailing data and innovations
+    /// recomputed with the fitted model.
+    fn forecast(&self, model: &StockModel, diffs: &[f64]) -> f64 {
+        let n = diffs.len();
+        let p = model.ar.len();
+        let q = model.ma.len();
+        if n < p.max(q) + 1 {
+            return model.intercept;
+        }
+        // Recompute recent innovations with the fitted (not long-AR) model.
+        let lookback = (p.max(q) + q + 4).min(n);
+        let base = n - lookback;
+        let mut innov = vec![0.0; lookback];
+        for t in 0..lookback {
+            let abs_t = base + t;
+            let mut pred = model.intercept;
+            for (k, &phi) in model.ar.iter().enumerate() {
+                if abs_t > k {
+                    pred += phi * diffs[abs_t - 1 - k];
+                }
+            }
+            for (k, &theta) in model.ma.iter().enumerate() {
+                if t > k {
+                    pred += theta * innov[t - 1 - k];
+                }
+            }
+            innov[t] = diffs[abs_t] - pred;
+        }
+        let mut f = model.intercept;
+        for (k, &phi) in model.ar.iter().enumerate() {
+            f += phi * diffs[n - 1 - k];
+        }
+        for (k, &theta) in model.ma.iter().enumerate() {
+            f += theta * innov[lookback - 1 - k];
+        }
+        f
+    }
+}
+
+impl StockRanker for Arima {
+    fn name(&self) -> String {
+        "ARIMA".into()
+    }
+
+    fn fit(&mut self, ds: &StockDataset) -> FitReport {
+        let t0 = Instant::now();
+        let train_end = ds.spec.test_start() - 1;
+        self.models = (0..ds.n_stocks())
+            .map(|i| {
+                let diffs = Self::diffs_up_to(ds, i, train_end);
+                fit_hannan_rissanen(&diffs, &self.cfg).0
+            })
+            .collect();
+        FitReport {
+            train_secs: t0.elapsed().as_secs_f64(),
+            final_loss: f32::NAN,
+            epoch_losses: Vec::new(),
+        }
+    }
+
+    fn scores_for_day(&mut self, ds: &StockDataset, end_day: usize) -> Vec<f32> {
+        assert!(!self.models.is_empty(), "fit() must run before scoring");
+        (0..ds.n_stocks())
+            .map(|i| {
+                let diffs = Self::diffs_up_to(ds, i, end_day);
+                let f = self.forecast(&self.models[i], &diffs);
+                if f > self.cfg.threshold {
+                    CLASS_UP
+                } else if f < -self.cfg.threshold {
+                    0.0
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    fn can_rank(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgcn_market::{Market, Scale, UniverseSpec};
+
+    #[test]
+    fn linear_solver_known_system() {
+        // 2x + y = 5; x − y = 1 → x = 2, y = 1.
+        let x = solve_linear(vec![vec![2.0, 1.0], vec![1.0, -1.0]], vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10 && (x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_system_rejected() {
+        assert!(solve_linear(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ar_recovers_coefficients_of_synthetic_ar2() {
+        // Simulate AR(2): x_t = 0.5 x_{t−1} − 0.3 x_{t−2} + ε.
+        let mut x = vec![0.0f64; 2000];
+        let mut state = 12345u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.1
+        };
+        for t in 2..2000 {
+            x[t] = 0.5 * x[t - 1] - 0.3 * x[t - 2] + noise();
+        }
+        let cfg = ArimaConfig { p: 2, q: 0, long_ar: 6, threshold: 0.001 };
+        let (model, _) = fit_hannan_rissanen(&x, &cfg);
+        assert!((model.ar[0] - 0.5).abs() < 0.08, "φ1 = {}", model.ar[0]);
+        assert!((model.ar[1] + 0.3).abs() < 0.08, "φ2 = {}", model.ar[1]);
+    }
+
+    #[test]
+    fn classifies_with_three_labels() {
+        let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        spec.stocks = 8;
+        spec.train_days = 80;
+        spec.test_days = 10;
+        let ds = StockDataset::generate(spec, 4);
+        let mut m = Arima::new(ArimaConfig::default());
+        m.fit(&ds);
+        assert!(!m.can_rank());
+        let day = ds.test_end_days()[0];
+        let scores = m.scores_for_day(&ds, day);
+        assert_eq!(scores.len(), 8);
+        assert!(scores.iter().all(|&s| s == 0.0 || s == 1.0 || s == 2.0));
+    }
+
+    #[test]
+    fn short_series_falls_back_to_mean() {
+        let cfg = ArimaConfig::default();
+        let (model, _) = fit_hannan_rissanen(&[0.01, 0.02, 0.03], &cfg);
+        assert!((model.intercept - 0.02).abs() < 1e-12);
+        assert!(model.ar.iter().all(|&a| a == 0.0));
+    }
+}

@@ -1,0 +1,43 @@
+//! # rtgcn-baselines
+//!
+//! Every comparator model in the RT-GCN paper's evaluation (Tables IV–V),
+//! reimplemented from the original papers on the shared `rtgcn-tensor`
+//! engine and driven through the `rtgcn-core::StockRanker` interface:
+//!
+//! | Module | Model | Category |
+//! |---|---|---|
+//! | [`arima`] | ARIMA(p,1,q), Hannan–Rissanen CSS fit | CLF |
+//! | [`alstm`] | Adversarial attentive LSTM | CLF |
+//! | [`sfm`] | State Frequency Memory RNN | REG |
+//! | [`lstm_rankers`] | LSTM (regression) and Rank_LSTM | REG / RAN |
+//! | [`dqn`] | Deep Q-learning trader | RL |
+//! | [`irdpg`] | Imitative recurrent DPG | RL |
+//! | [`rsr`] | Relational Stock Ranking (implicit/explicit) | RAN |
+//! | [`gat`] | RT-GAT (graph-attention ablation of RT-GCN) | RAN |
+//! | [`sthan`] | Spatiotemporal hypergraph attention (STHAN-SR) | RAN |
+//!
+//! [`zoo`] provides a uniform factory over the whole roster.
+
+pub mod alstm;
+pub mod arima;
+pub mod dqn;
+pub mod gat;
+pub mod irdpg;
+pub mod lstm_rankers;
+pub mod mlp;
+pub mod recurrent;
+pub mod rsr;
+pub mod sfm;
+pub mod sthan;
+pub mod zoo;
+
+pub use alstm::{ALstm, ALstmConfig};
+pub use arima::{Arima, ArimaConfig};
+pub use dqn::{Dqn, DqnConfig};
+pub use gat::{RtGat, RtGatConfig};
+pub use irdpg::{Irdpg, IrdpgConfig};
+pub use lstm_rankers::{LstmRanker, SeqConfig};
+pub use rsr::{Rsr, RsrConfig, RsrVariant};
+pub use sfm::{Sfm, SfmConfig};
+pub use sthan::{Sthan, SthanConfig};
+pub use zoo::{build, CommonConfig, ModelKind};

@@ -1,0 +1,172 @@
+//! The LSTM regression baseline (Bao et al. [16]) and its learning-to-rank
+//! variant Rank_LSTM (Feng et al. [9]): a shared LSTM encodes each stock's
+//! window (stocks = batch), the final hidden state is mapped to a scalar.
+//! LSTM trains with pure MSE on the next-day return ratio; Rank_LSTM adds
+//! the pairwise ranking hinge (Eq. 8) — the paper's canonical evidence that
+//! ranking losses beat regression for investment revenue.
+
+use crate::recurrent::{split_window, LstmCell};
+use rtgcn_core::{FitReport, StockRanker};
+use rtgcn_market::StockDataset;
+use rtgcn_tensor::{clip_grad_norm, init, Adam, Optimizer, ParamId, ParamStore, Tape, Tensor};
+use std::time::Instant;
+
+/// Shared hyperparameters for the sequence baselines.
+#[derive(Clone, Debug)]
+pub struct SeqConfig {
+    pub t_steps: usize,
+    pub n_features: usize,
+    pub hidden: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    /// Ranking-loss weight (used only when ranking is enabled).
+    pub alpha: f32,
+}
+
+impl Default for SeqConfig {
+    fn default() -> Self {
+        SeqConfig { t_steps: 16, n_features: 4, hidden: 32, epochs: 6, lr: 1e-3, alpha: 0.1 }
+    }
+}
+
+/// LSTM / Rank_LSTM baseline.
+pub struct LstmRanker {
+    pub cfg: SeqConfig,
+    store: ParamStore,
+    cell: LstmCell,
+    w_out: ParamId,
+    b_out: ParamId,
+    /// `false` → plain regression (LSTM [16]); `true` → Rank_LSTM [9].
+    ranking: bool,
+}
+
+impl LstmRanker {
+    pub fn regression(cfg: SeqConfig, seed: u64) -> Self {
+        Self::build(cfg, seed, false)
+    }
+
+    pub fn ranking(cfg: SeqConfig, seed: u64) -> Self {
+        Self::build(cfg, seed, true)
+    }
+
+    fn build(cfg: SeqConfig, seed: u64, ranking: bool) -> Self {
+        let mut rng = init::rng(seed);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", cfg.n_features, cfg.hidden, &mut rng);
+        let w_out = store.add("out.w", init::xavier([cfg.hidden, 1], &mut rng));
+        let b_out = store.add("out.b", Tensor::zeros([1]));
+        LstmRanker { cfg, store, cell, w_out, b_out, ranking }
+    }
+
+    fn forward(&self, tape: &mut Tape, x: &Tensor) -> rtgcn_tensor::Var {
+        let n = x.dims()[1];
+        let xs = split_window(tape, x);
+        let hs = self.cell.encode(tape, &self.store, &xs, n);
+        let w = self.store.bind(tape, self.w_out);
+        let b = self.store.bind(tape, self.b_out);
+        let out = tape.linear(*hs.last().expect("empty window"), w, b);
+        tape.reshape(out, [n])
+    }
+}
+
+impl StockRanker for LstmRanker {
+    fn name(&self) -> String {
+        if self.ranking { "Rank_LSTM".into() } else { "LSTM".into() }
+    }
+
+    fn fit(&mut self, ds: &StockDataset) -> FitReport {
+        let t0 = Instant::now();
+        let mut opt = Adam::new(self.cfg.lr, 1e-4);
+        let days = ds.train_end_days(self.cfg.t_steps);
+        let mut epoch_losses = Vec::new();
+        for _ in 0..self.cfg.epochs {
+            let mut acc = 0.0f64;
+            for &day in &days {
+                let s = ds.sample(day, self.cfg.t_steps, self.cfg.n_features);
+                let mut tape = Tape::new();
+                let pred = self.forward(&mut tape, &s.x);
+                let loss = if self.ranking {
+                    tape.combined_rank_loss(pred, &s.y, self.cfg.alpha)
+                } else {
+                    tape.mse(pred, &s.y)
+                };
+                acc += tape.value(loss).item() as f64;
+                tape.backward(loss);
+                self.store.absorb_grads(&tape);
+                clip_grad_norm(&mut self.store, 5.0);
+                opt.step(&mut self.store);
+            }
+            epoch_losses.push((acc / days.len().max(1) as f64) as f32);
+        }
+        FitReport {
+            train_secs: t0.elapsed().as_secs_f64(),
+            final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
+            epoch_losses,
+        }
+    }
+
+    fn scores_for_day(&mut self, ds: &StockDataset, end_day: usize) -> Vec<f32> {
+        let s = ds.sample(end_day, self.cfg.t_steps, self.cfg.n_features);
+        let mut tape = Tape::new();
+        let pred = self.forward(&mut tape, &s.x);
+        let out = tape.value(pred).data().to_vec();
+        self.store.clear_bindings();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgcn_market::{Market, Scale, UniverseSpec};
+
+    fn tiny_ds() -> StockDataset {
+        let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        spec.stocks = 8;
+        spec.train_days = 50;
+        spec.test_days = 10;
+        StockDataset::generate(spec, 3)
+    }
+
+    fn tiny_cfg() -> SeqConfig {
+        SeqConfig { t_steps: 8, n_features: 2, hidden: 8, epochs: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn both_variants_fit_and_score() {
+        let ds = tiny_ds();
+        for ranking in [false, true] {
+            let mut m = if ranking {
+                LstmRanker::ranking(tiny_cfg(), 1)
+            } else {
+                LstmRanker::regression(tiny_cfg(), 1)
+            };
+            let rep = m.fit(&ds);
+            assert!(rep.final_loss.is_finite());
+            let day = ds.test_end_days()[0];
+            let scores = m.scores_for_day(&ds, day);
+            assert_eq!(scores.len(), 8);
+            assert!(scores.iter().all(|s| s.is_finite()));
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LstmRanker::regression(tiny_cfg(), 1).name(), "LSTM");
+        assert_eq!(LstmRanker::ranking(tiny_cfg(), 1).name(), "Rank_LSTM");
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let ds = tiny_ds();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 4;
+        let mut m = LstmRanker::ranking(cfg, 5);
+        let rep = m.fit(&ds);
+        assert!(
+            rep.epoch_losses.last().unwrap() <= rep.epoch_losses.first().unwrap(),
+            "{:?}",
+            rep.epoch_losses
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Small multi-layer perceptron used by the RL baselines (DQN Q-network,
+//! iRDPG critic) and RSR's prediction heads.
+
+use rand::rngs::StdRng;
+use rtgcn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// A ReLU MLP with a linear output layer.
+pub struct Mlp {
+    layers: Vec<(ParamId, ParamId)>,
+    pub dims: Vec<usize>,
+}
+
+impl Mlp {
+    /// `dims = [in, h1, ..., out]`.
+    pub fn new(store: &mut ParamStore, prefix: &str, dims: &[usize], rng: &mut StdRng) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let wid = store.add(format!("{prefix}.l{i}.w"), init::xavier([w[0], w[1]], rng));
+                let bid = store.add(format!("{prefix}.l{i}.b"), Tensor::zeros([w[1]]));
+                (wid, bid)
+            })
+            .collect();
+        Mlp { layers, dims: dims.to_vec() }
+    }
+
+    /// `x: (B, in)` → `(B, out)`; ReLU between layers, linear at the end.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, &(w, b)) in self.layers.iter().enumerate() {
+            let wv = store.bind(tape, w);
+            let bv = store.bind(tape, b);
+            h = tape.linear(h, wv, bv);
+            if i != last {
+                h = tape.relu(h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgcn_tensor::{Adam, Optimizer};
+
+    #[test]
+    fn forward_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(1);
+        let mlp = Mlp::new(&mut store, "m", &[4, 8, 2], &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(init::normal([3, 4], 1.0, &mut rng));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn learns_xor_like_function() {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(2);
+        let mlp = Mlp::new(&mut store, "m", &[2, 16, 1], &mut rng);
+        let mut opt = Adam::new(0.02, 0.0);
+        let xs = Tensor::new([4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let ys = Tensor::new([4, 1], vec![0., 1., 1., 0.]);
+        let mut last = f32::MAX;
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let x = tape.constant(xs.clone());
+            let pred = mlp.forward(&mut tape, &store, x);
+            let loss = tape.mse(pred, &ys);
+            last = tape.value(loss).item();
+            tape.backward(loss);
+            store.absorb_grads(&tape);
+            opt.step(&mut store);
+        }
+        assert!(last < 0.05, "XOR loss stuck at {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_single_dim() {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(3);
+        let _ = Mlp::new(&mut store, "m", &[4], &mut rng);
+    }
+}

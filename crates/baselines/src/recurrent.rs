@@ -1,0 +1,268 @@
+//! Recurrent cells (LSTM, GRU) on the autodiff tape — the temporal encoders
+//! behind the LSTM/Rank_LSTM/A-LSTM/RSR/iRDPG baselines. Stocks are the
+//! batch dimension, so one shared cell encodes every stock's window in
+//! parallel, exactly as the reference implementations do.
+
+use rand::rngs::StdRng;
+use rtgcn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// One gate's affine parameters: `x·W_x + h·W_h + b`.
+struct Gate {
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+}
+
+impl Gate {
+    fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        Gate {
+            wx: store.add(format!("{name}.wx"), init::xavier([in_dim, hidden], rng)),
+            wh: store.add(format!("{name}.wh"), init::xavier([hidden, hidden], rng)),
+            b: store.add(format!("{name}.b"), Tensor::zeros([hidden])),
+        }
+    }
+
+    /// `x: (B, D)`, `h: (B, H)` → `(B, H)` pre-activation.
+    fn apply(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
+        let wx = store.bind(tape, self.wx);
+        let wh = store.bind(tape, self.wh);
+        let b = store.bind(tape, self.b);
+        let xp = tape.linear(x, wx, b);
+        let hp = tape.matmul(h, wh);
+        tape.add(xp, hp)
+    }
+}
+
+/// A standard LSTM cell (forget/input/output gates + candidate).
+pub struct LstmCell {
+    f: Gate,
+    i: Gate,
+    o: Gate,
+    g: Gate,
+    pub hidden: usize,
+    pub in_dim: usize,
+}
+
+impl LstmCell {
+    pub fn new(store: &mut ParamStore, prefix: &str, in_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        LstmCell {
+            f: Gate::new(store, &format!("{prefix}.f"), in_dim, hidden, rng),
+            i: Gate::new(store, &format!("{prefix}.i"), in_dim, hidden, rng),
+            o: Gate::new(store, &format!("{prefix}.o"), in_dim, hidden, rng),
+            g: Gate::new(store, &format!("{prefix}.g"), in_dim, hidden, rng),
+            hidden,
+            in_dim,
+        }
+    }
+
+    /// One step: returns `(h', c')`.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        h: Var,
+        c: Var,
+    ) -> (Var, Var) {
+        let f_pre = self.f.apply(tape, store, x, h);
+        let f = tape.sigmoid(f_pre);
+        let i_pre = self.i.apply(tape, store, x, h);
+        let i = tape.sigmoid(i_pre);
+        let o_pre = self.o.apply(tape, store, x, h);
+        let o = tape.sigmoid(o_pre);
+        let g_pre = self.g.apply(tape, store, x, h);
+        let g = tape.tanh(g_pre);
+        let keep = tape.mul(f, c);
+        let add = tape.mul(i, g);
+        let c_new = tape.add(keep, add);
+        let c_act = tape.tanh(c_new);
+        let h_new = tape.mul(o, c_act);
+        (h_new, c_new)
+    }
+
+    /// Encode a sequence of `(B, D)` step inputs; returns all hidden states.
+    pub fn encode(&self, tape: &mut Tape, store: &ParamStore, xs: &[Var], batch: usize) -> Vec<Var> {
+        let mut h = tape.constant(Tensor::zeros([batch, self.hidden]));
+        let mut c = tape.constant(Tensor::zeros([batch, self.hidden]));
+        let mut hs = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let (h2, c2) = self.step(tape, store, x, h, c);
+            h = h2;
+            c = c2;
+            hs.push(h);
+        }
+        hs
+    }
+}
+
+/// A standard GRU cell (update/reset gates + candidate).
+pub struct GruCell {
+    z: Gate,
+    r: Gate,
+    n: Gate,
+    pub hidden: usize,
+    pub in_dim: usize,
+}
+
+impl GruCell {
+    pub fn new(store: &mut ParamStore, prefix: &str, in_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        GruCell {
+            z: Gate::new(store, &format!("{prefix}.z"), in_dim, hidden, rng),
+            r: Gate::new(store, &format!("{prefix}.r"), in_dim, hidden, rng),
+            n: Gate::new(store, &format!("{prefix}.n"), in_dim, hidden, rng),
+            hidden,
+            in_dim,
+        }
+    }
+
+    /// One step: returns `h'`.
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
+        let z_pre = self.z.apply(tape, store, x, h);
+        let z = tape.sigmoid(z_pre);
+        let r_pre = self.r.apply(tape, store, x, h);
+        let r = tape.sigmoid(r_pre);
+        let rh = tape.mul(r, h);
+        let n_pre = self.n.apply(tape, store, x, rh);
+        let n = tape.tanh(n_pre);
+        // h' = (1−z)·n + z·h
+        let one = tape.constant(Tensor::scalar(1.0));
+        let inv_z = tape.sub(one, z);
+        let new_part = tape.mul(inv_z, n);
+        let keep_part = tape.mul(z, h);
+        tape.add(new_part, keep_part)
+    }
+
+    /// Encode a sequence; returns the final hidden state.
+    pub fn encode_last(&self, tape: &mut Tape, store: &ParamStore, xs: &[Var], batch: usize) -> Var {
+        let mut h = tape.constant(Tensor::zeros([batch, self.hidden]));
+        for &x in xs {
+            h = self.step(tape, store, x, h);
+        }
+        h
+    }
+}
+
+/// Split an `(T, N, D)` window tensor into per-step `(N, D)` vars — shared
+/// helper for every sequence baseline.
+pub fn split_window(tape: &mut Tape, x: &Tensor) -> Vec<Var> {
+    assert_eq!(x.rank(), 3, "window must be (T, N, D)");
+    let (t, n, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let xv = tape.constant(x.clone());
+    (0..t)
+        .map(|s| {
+            let plane = tape.slice_rows(xv, s, s + 1);
+            tape.reshape(plane, [n, d])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgcn_tensor::{Adam, Optimizer};
+
+    #[test]
+    fn lstm_shapes_and_bounded_state() {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(1);
+        let cell = LstmCell::new(&mut store, "lstm", 3, 5, &mut rng);
+        let mut tape = Tape::new();
+        let xs: Vec<Var> =
+            (0..4).map(|_| tape.constant(init::normal([2, 3], 1.0, &mut rng))).collect();
+        let hs = cell.encode(&mut tape, &store, &xs, 2);
+        assert_eq!(hs.len(), 4);
+        for h in &hs {
+            assert_eq!(tape.value(*h).dims(), &[2, 5]);
+            assert!(tape.value(*h).data().iter().all(|&v| v.abs() <= 1.0), "h = o·tanh(c) bounded");
+        }
+    }
+
+    #[test]
+    fn gru_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(2);
+        let cell = GruCell::new(&mut store, "gru", 2, 4, &mut rng);
+        let mut tape = Tape::new();
+        let xs: Vec<Var> =
+            (0..3).map(|_| tape.constant(init::normal([5, 2], 1.0, &mut rng))).collect();
+        let h = cell.encode_last(&mut tape, &store, &xs, 5);
+        assert_eq!(tape.value(h).dims(), &[5, 4]);
+        assert!(tape.value(h).data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    /// An LSTM should be able to learn to output the last input (memorise).
+    #[test]
+    fn lstm_learns_simple_mapping() {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(3);
+        let cell = LstmCell::new(&mut store, "lstm", 1, 6, &mut rng);
+        let w_out = store.add("out.w", init::xavier([6, 1], &mut rng));
+        let b_out = store.add("out.b", Tensor::zeros([1]));
+        let mut opt = Adam::new(0.02, 0.0);
+        // Target: y = last element of the sequence.
+        let seqs: Vec<(Vec<f32>, f32)> = (0..8)
+            .map(|i| {
+                let v: Vec<f32> = (0..4).map(|j| ((i * 7 + j * 3) % 5) as f32 / 5.0).collect();
+                let last = v[3];
+                (v, last)
+            })
+            .collect();
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _epoch in 0..150 {
+            let mut total = 0.0;
+            for (seq, target) in &seqs {
+                let mut tape = Tape::new();
+                let xs: Vec<Var> = seq
+                    .iter()
+                    .map(|&v| tape.constant(Tensor::new([1, 1], vec![v])))
+                    .collect();
+                let hs = cell.encode(&mut tape, &store, &xs, 1);
+                let w = store.bind(&mut tape, w_out);
+                let b = store.bind(&mut tape, b_out);
+                let pred = tape.linear(*hs.last().unwrap(), w, b);
+                let loss = tape.mse(pred, &Tensor::new([1, 1], vec![*target]));
+                total += tape.value(loss).item();
+                tape.backward(loss);
+                store.absorb_grads(&tape);
+                opt.step(&mut store);
+            }
+            if first_loss.is_none() {
+                first_loss = Some(total);
+            }
+            last_loss = total;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.2,
+            "LSTM failed to learn: {first_loss:?} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn gru_gradients_reach_all_params() {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(4);
+        let cell = GruCell::new(&mut store, "gru", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let xs: Vec<Var> =
+            (0..3).map(|_| tape.constant(init::normal([2, 2], 1.0, &mut rng))).collect();
+        let h = cell.encode_last(&mut tape, &store, &xs, 2);
+        let sq = tape.square(h);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        store.absorb_grads(&tape);
+        for id in store.ids().collect::<Vec<_>>() {
+            assert!(store.grad(id).norm() > 0.0, "no grad for {}", store.name(id));
+        }
+    }
+
+    #[test]
+    fn split_window_layout() {
+        let mut tape = Tape::new();
+        let x = Tensor::new([2, 3, 2], (0..12).map(|v| v as f32).collect());
+        let xs = split_window(&mut tape, &x);
+        assert_eq!(xs.len(), 2);
+        assert_eq!(tape.value(xs[0]).dims(), &[3, 2]);
+        assert_eq!(tape.value(xs[1]).data()[0], 6.0, "second plane starts at element 6");
+    }
+}

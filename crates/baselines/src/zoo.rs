@@ -1,0 +1,243 @@
+//! The model zoo: one constructor per Table IV/V comparator, so harnesses
+//! can iterate over the whole baseline roster with shared hyperparameters
+//! ("all the methods use the same features ... with the same window size T",
+//! paper Section V-B.2).
+
+use crate::alstm::{ALstm, ALstmConfig};
+use crate::arima::{Arima, ArimaConfig};
+use crate::dqn::{Dqn, DqnConfig};
+use crate::gat::{RtGat, RtGatConfig};
+use crate::irdpg::{Irdpg, IrdpgConfig};
+use crate::lstm_rankers::{LstmRanker, SeqConfig};
+use crate::rsr::{Rsr, RsrConfig, RsrVariant};
+use crate::sfm::{Sfm, SfmConfig};
+use crate::sthan::{Sthan, SthanConfig};
+use rtgcn_core::StockRanker;
+use rtgcn_market::RelationKind;
+
+/// Every baseline model in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    Arima,
+    ALstm,
+    Sfm,
+    Lstm,
+    Dqn,
+    Irdpg,
+    RankLstm,
+    RsrI,
+    RsrE,
+    RtGat,
+    Sthan,
+}
+
+impl ModelKind {
+    /// The Table IV roster in paper order (STHAN-SR appears in Table V).
+    pub const TABLE4: [ModelKind; 10] = [
+        ModelKind::Arima,
+        ModelKind::ALstm,
+        ModelKind::Sfm,
+        ModelKind::Lstm,
+        ModelKind::Dqn,
+        ModelKind::Irdpg,
+        ModelKind::RankLstm,
+        ModelKind::RsrI,
+        ModelKind::RsrE,
+        ModelKind::RtGat,
+    ];
+
+    /// Paper category label (CLF / REG / RL / RAN).
+    pub fn category(&self) -> &'static str {
+        match self {
+            ModelKind::Arima | ModelKind::ALstm => "CLF",
+            ModelKind::Sfm | ModelKind::Lstm => "REG",
+            ModelKind::Dqn | ModelKind::Irdpg => "RL",
+            _ => "RAN",
+        }
+    }
+}
+
+/// Hyperparameters shared by all models in a harness run.
+#[derive(Clone, Debug)]
+pub struct CommonConfig {
+    pub t_steps: usize,
+    pub n_features: usize,
+    pub hidden: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    pub alpha: f32,
+    pub relation_kind: RelationKind,
+}
+
+impl Default for CommonConfig {
+    fn default() -> Self {
+        CommonConfig {
+            t_steps: 16,
+            n_features: 4,
+            hidden: 32,
+            epochs: 6,
+            lr: 1e-3,
+            alpha: 0.1,
+            relation_kind: RelationKind::Both,
+        }
+    }
+}
+
+/// Build a baseline model with shared hyperparameters.
+pub fn build(kind: ModelKind, common: &CommonConfig, seed: u64) -> Box<dyn StockRanker> {
+    let seq = SeqConfig {
+        t_steps: common.t_steps,
+        n_features: common.n_features,
+        hidden: common.hidden,
+        epochs: common.epochs,
+        lr: common.lr,
+        alpha: common.alpha,
+    };
+    match kind {
+        ModelKind::Arima => Box::new(Arima::new(ArimaConfig::default())),
+        ModelKind::ALstm => Box::new(ALstm::new(
+            ALstmConfig {
+                t_steps: common.t_steps,
+                n_features: common.n_features,
+                hidden: common.hidden,
+                epochs: common.epochs,
+                lr: common.lr,
+                ..Default::default()
+            },
+            seed,
+        )),
+        ModelKind::Sfm => Box::new(Sfm::new(
+            SfmConfig {
+                t_steps: common.t_steps,
+                n_features: common.n_features,
+                hidden: common.hidden.min(24),
+                epochs: common.epochs,
+                lr: common.lr,
+                ..Default::default()
+            },
+            seed,
+        )),
+        ModelKind::Lstm => Box::new(LstmRanker::regression(seq, seed)),
+        ModelKind::Dqn => Box::new(Dqn::new(
+            DqnConfig {
+                t_steps: common.t_steps,
+                n_features: common.n_features,
+                hidden: common.hidden * 2,
+                epochs: common.epochs.min(3),
+                lr: common.lr,
+                ..Default::default()
+            },
+            seed,
+        )),
+        ModelKind::Irdpg => Box::new(Irdpg::new(
+            IrdpgConfig {
+                t_steps: common.t_steps,
+                n_features: common.n_features,
+                hidden: common.hidden,
+                epochs: common.epochs.min(3),
+                lr: common.lr,
+                ..Default::default()
+            },
+            seed,
+        )),
+        ModelKind::RankLstm => Box::new(LstmRanker::ranking(seq, seed)),
+        ModelKind::RsrI => Box::new(Rsr::new(
+            RsrConfig {
+                t_steps: common.t_steps,
+                n_features: common.n_features,
+                hidden: common.hidden,
+                epochs: common.epochs,
+                lr: common.lr,
+                alpha: common.alpha,
+                variant: RsrVariant::Implicit,
+                relation_kind: common.relation_kind,
+            },
+            seed,
+        )),
+        ModelKind::RsrE => Box::new(Rsr::new(
+            RsrConfig {
+                t_steps: common.t_steps,
+                n_features: common.n_features,
+                hidden: common.hidden,
+                epochs: common.epochs,
+                lr: common.lr,
+                alpha: common.alpha,
+                variant: RsrVariant::Explicit,
+                relation_kind: common.relation_kind,
+            },
+            seed,
+        )),
+        ModelKind::RtGat => Box::new(RtGat::new(
+            RtGatConfig {
+                t_steps: common.t_steps,
+                n_features: common.n_features,
+                filters: common.hidden,
+                temporal_filters: common.hidden,
+                epochs: common.epochs,
+                lr: common.lr,
+                alpha: common.alpha,
+                relation_kind: common.relation_kind,
+                ..Default::default()
+            },
+            seed,
+        )),
+        ModelKind::Sthan => Box::new(Sthan::new(
+            SthanConfig {
+                t_steps: common.t_steps,
+                n_features: common.n_features,
+                hidden: common.hidden,
+                epochs: common.epochs,
+                lr: common.lr,
+                alpha: common.alpha,
+                relation_kind: common.relation_kind,
+            },
+            seed,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_table_iv() {
+        assert_eq!(ModelKind::Arima.category(), "CLF");
+        assert_eq!(ModelKind::Sfm.category(), "REG");
+        assert_eq!(ModelKind::Dqn.category(), "RL");
+        assert_eq!(ModelKind::RsrE.category(), "RAN");
+        assert_eq!(ModelKind::Sthan.category(), "RAN");
+    }
+
+    #[test]
+    fn zoo_builds_every_model_with_expected_names() {
+        let common = CommonConfig { t_steps: 8, n_features: 2, hidden: 8, epochs: 1, ..Default::default() };
+        let expected = [
+            (ModelKind::Arima, "ARIMA"),
+            (ModelKind::ALstm, "A-LSTM"),
+            (ModelKind::Sfm, "SFM"),
+            (ModelKind::Lstm, "LSTM"),
+            (ModelKind::Dqn, "DQN"),
+            (ModelKind::Irdpg, "iRDPG"),
+            (ModelKind::RankLstm, "Rank_LSTM"),
+            (ModelKind::RsrI, "RSR_I"),
+            (ModelKind::RsrE, "RSR_E"),
+            (ModelKind::RtGat, "RT-GAT"),
+            (ModelKind::Sthan, "STHAN-SR"),
+        ];
+        for (kind, name) in expected {
+            let m = build(kind, &common, 1);
+            assert_eq!(m.name(), name);
+        }
+    }
+
+    #[test]
+    fn only_classification_models_cannot_rank() {
+        let common = CommonConfig { t_steps: 8, n_features: 2, hidden: 8, epochs: 1, ..Default::default() };
+        for kind in ModelKind::TABLE4 {
+            let m = build(kind, &common, 1);
+            let expect_rank = kind.category() != "CLF";
+            assert_eq!(m.can_rank(), expect_rank, "{kind:?}");
+        }
+    }
+}

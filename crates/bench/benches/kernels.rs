@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks of the tensor/graph kernels that dominate
+//! RT-GCN's runtime: dense matmul, sparse propagation (spmm), the
+//! time-sensitive strategy's edge-dot, segment softmax (GAT), causal
+//! temporal convolution and the O(N²) pairwise ranking loss.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtgcn_tensor::{init, linalg, Edges, Tape, Tensor};
+use std::hint::black_box;
+
+fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+    init::normal(shape.to_vec(), 1.0, &mut init::rng(seed))
+}
+
+fn ring_edges(n: usize, degree: usize) -> Edges {
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for d in 1..=degree {
+            pairs.push([i, (i + d) % n]);
+        }
+        pairs.push([i, i]);
+    }
+    Edges::new(n, pairs)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 256, 512] {
+        let a = rand_tensor(&[n, n], 1);
+        let b = rand_tensor(&[n, n], 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(linalg::matmul(&a, &b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmm");
+    for &n in &[256usize, 1024] {
+        let edges = ring_edges(n, 20);
+        let weights = rand_tensor(&[edges.len()], 3);
+        let x = rand_tensor(&[n, 32], 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let w = tape.constant(weights.clone());
+                let xv = tape.constant(x.clone());
+                black_box(tape.spmm(&edges, w, xv))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_edge_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edge_dot");
+    for &n in &[256usize, 1024] {
+        let edges = ring_edges(n, 20);
+        let x = rand_tensor(&[n, 32], 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                black_box(tape.edge_dot(&edges, xv, 5.65))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_segment_softmax(c: &mut Criterion) {
+    let edges = ring_edges(1024, 20);
+    let logits = rand_tensor(&[edges.len()], 6);
+    c.bench_function("segment_softmax/1024x21", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let l = tape.constant(logits.clone());
+            black_box(tape.segment_softmax(&edges, l))
+        });
+    });
+}
+
+fn bench_conv1d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv1d_causal");
+    // The RT-GCN shape: batch = stocks, channels = filters, length = window.
+    for &(b, ch, l) in &[(100usize, 32usize, 16usize), (800, 32, 16)] {
+        let x = rand_tensor(&[b, ch, l], 7);
+        let w = rand_tensor(&[ch, ch, 3], 8);
+        let bias = Tensor::zeros([ch]);
+        let spec = rtgcn_tensor::ConvSpec::new(3, 2, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{b}x{ch}x{l}")), &b, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let wv = tape.constant(w.clone());
+                let bv = tape.constant(bias.clone());
+                black_box(tape.conv1d_causal(xv, wv, bv, spec))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_rank_loss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pairwise_rank_loss");
+    for &n in &[100usize, 800] {
+        let pred = rand_tensor(&[n], 9);
+        let truth = rand_tensor(&[n], 10);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let p = tape.constant(pred.clone());
+                black_box(tape.pairwise_rank_loss(p, &truth))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    // Full forward+backward through a GCN-like layer.
+    let n = 256;
+    let edges = ring_edges(n, 20);
+    let x = rand_tensor(&[n, 16], 11);
+    let theta = rand_tensor(&[16, 32], 12);
+    let weights = rand_tensor(&[edges.len()], 13);
+    c.bench_function("gcn_layer_fwd_bwd/256", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let w = tape.leaf(weights.clone());
+            let xv = tape.leaf(x.clone());
+            let th = tape.leaf(theta.clone());
+            let agg = tape.spmm(&edges, w, xv);
+            let z = tape.matmul(agg, th);
+            let r = tape.relu(z);
+            let loss = tape.sum_all(r);
+            tape.backward(loss);
+            black_box(tape.grad(th).is_some())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_spmm,
+    bench_edge_dot,
+    bench_segment_softmax,
+    bench_conv1d,
+    bench_rank_loss,
+    bench_backward
+);
+criterion_main!(benches);

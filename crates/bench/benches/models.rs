@@ -1,0 +1,92 @@
+//! Criterion model-level benchmarks: one training step and one scoring pass
+//! of each ranking-based method on an identical small market — the
+//! micro-benchmark counterpart of Figure 5 (the `fig5_speed` binary measures
+//! full training runs; this isolates per-step cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtgcn_bench::Spec;
+use rtgcn_baselines::{CommonConfig, ModelKind};
+use rtgcn_core::Strategy;
+use rtgcn_market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
+use std::hint::black_box;
+
+fn bench_dataset() -> StockDataset {
+    let mut spec = UniverseSpec::of(Market::Nasdaq, Scale::Small);
+    spec.stocks = 60;
+    spec.train_days = 80;
+    spec.test_days = 20;
+    StockDataset::generate(spec, 42)
+}
+
+fn common() -> CommonConfig {
+    CommonConfig { epochs: 1, ..Default::default() }
+}
+
+fn roster() -> Vec<Spec> {
+    vec![
+        Spec::Baseline(ModelKind::RankLstm),
+        Spec::Baseline(ModelKind::RsrE),
+        Spec::Baseline(ModelKind::RtGat),
+        Spec::Gcn(Strategy::Uniform),
+        Spec::Gcn(Strategy::Weighted),
+        Spec::Gcn(Strategy::TimeSensitive),
+    ]
+}
+
+/// One scoring pass (inference) per model — the Figure 5 "testing" cost.
+fn bench_score_pass(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("score_pass");
+    g.sample_size(10);
+    for spec in roster() {
+        let mut model = spec.build(&ds, &common(), RelationKind::Both, 1);
+        let day = ds.test_end_days()[0];
+        // Touch once so lazily-built models construct their graphs outside
+        // the timed region.
+        let _ = model.scores_for_day(&ds, day);
+        g.bench_function(spec.name(), |bench| {
+            bench.iter(|| black_box(model.scores_for_day(&ds, day)));
+        });
+    }
+    g.finish();
+}
+
+/// Strategy-adjacency construction cost (the extra work strategy (T) pays
+/// per time-step relative to (U)/(W)).
+fn bench_strategy_adjacency(c: &mut Criterion) {
+    use rtgcn_core::StrategyCtx;
+    use rtgcn_tensor::{init, Tape, Tensor};
+    let ds = bench_dataset();
+    let relations = ds.relations(RelationKind::Both);
+    let ctx = StrategyCtx::new(&relations);
+    let n = relations.num_stocks();
+    let x = init::normal([n, 4], 1.0, &mut init::rng(3));
+    let mut g = c.benchmark_group("strategy_adjacency");
+    g.bench_function("uniform", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            black_box(ctx.adjacency_uniform(&mut tape))
+        });
+    });
+    g.bench_function("weighted", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let w = tape.leaf(Tensor::zeros([ctx.k_types, 1]));
+            let b = tape.leaf(Tensor::from_vec(vec![1.0]));
+            black_box(ctx.adjacency_weighted(&mut tape, w, b))
+        });
+    });
+    g.bench_function("time_sensitive", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let w = tape.leaf(Tensor::zeros([ctx.k_types, 1]));
+            let b = tape.leaf(Tensor::from_vec(vec![1.0]));
+            let xv = tape.leaf(x.clone());
+            black_box(ctx.adjacency_time_sensitive(&mut tape, w, b, xv))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_score_pass, bench_strategy_adjacency);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 5 — training and testing speed of the ranking-based methods
+//! (Rank_LSTM, RSR, RT-GAT, RT-GCN (T)). The paper reports wall-clock per
+//! training/testing pass; we print per-epoch training seconds and full
+//! test-pass seconds, plus the speedup ratios the paper quotes (up to 3.2×
+//! over Rank_LSTM and 13.4× over RSR on NASDAQ). ASCII bars approximate the
+//! figure's layout (shaded part = testing time).
+
+use rtgcn_bench::{HarnessArgs, Spec};
+use rtgcn_baselines::{CommonConfig, ModelKind};
+use rtgcn_core::Strategy;
+use rtgcn_eval::{backtest, write_json};
+use rtgcn_market::{RelationKind, StockDataset, UniverseSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SpeedRow {
+    name: String,
+    train_secs_per_epoch: f64,
+    test_secs: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    // One epoch is enough to measure throughput.
+    let common = CommonConfig { epochs: 1, ..Default::default() };
+    let roster = [
+        Spec::Baseline(ModelKind::RankLstm),
+        Spec::Baseline(ModelKind::RsrE),
+        Spec::Baseline(ModelKind::RtGat),
+        Spec::Gcn(Strategy::TimeSensitive),
+    ];
+
+    for &market in &args.markets {
+        let spec = UniverseSpec::of(market, args.scale);
+        let ds = StockDataset::generate(spec, args.base_seed);
+        let mut rows = Vec::new();
+        for s in &roster {
+            eprintln!("[fig5] {}: timing {}", market.name(), s.name());
+            let mut model = s.build(&ds, &common, RelationKind::Both, args.base_seed);
+            let fit = model.fit(&ds);
+            let outcome = backtest(model.as_mut(), &ds, &[5], args.base_seed);
+            rows.push(SpeedRow {
+                name: s.name(),
+                train_secs_per_epoch: fit.train_secs,
+                test_secs: outcome.test_secs,
+            });
+        }
+        println!("\nFigure 5 — speed comparison, {} (scale {:?})\n", market.name(), args.scale);
+        let max = rows
+            .iter()
+            .map(|r| r.train_secs_per_epoch + r.test_secs)
+            .fold(f64::MIN, f64::max);
+        for r in &rows {
+            let train_units = (40.0 * r.train_secs_per_epoch / max).round() as usize;
+            let test_units = (40.0 * r.test_secs / max).round() as usize;
+            println!(
+                "{:>11}  {}{} {:.2}s train + {:.2}s test",
+                r.name,
+                "#".repeat(train_units.max(1)),
+                "░".repeat(test_units.max(1)),
+                r.train_secs_per_epoch,
+                r.test_secs
+            );
+        }
+        let ours = rows.last().unwrap();
+        println!();
+        for r in &rows[..rows.len() - 1] {
+            println!(
+                "RT-GCN (T) vs {:>10}: {:.1}x faster training, {:.1}x faster testing",
+                r.name,
+                r.train_secs_per_epoch / ours.train_secs_per_epoch,
+                r.test_secs / ours.test_secs
+            );
+        }
+        let path = format!("{}/fig5_{}.json", args.out_dir, market.name().to_lowercase());
+        write_json(&path, &rows).expect("write artifact");
+        eprintln!("[fig5] wrote {path}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 6 — cumulative return-ratio curves over the test period for the
+//! three RT-GCN strategies at IRR-1/5/10, against the market index (DJI,
+//! S&P 500 or CSI 300 stand-ins). Prints an ASCII chart plus the raw series
+//! as a JSON artifact.
+
+use rtgcn_bench::{HarnessArgs, Spec};
+use rtgcn_baselines::CommonConfig;
+use rtgcn_core::Strategy;
+use rtgcn_eval::{backtest, write_json};
+use rtgcn_market::{index_cumulative_returns, RelationKind, StockDataset, UniverseSpec};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+const KS: [usize; 3] = [1, 5, 10];
+
+#[derive(Serialize)]
+struct CurveArtifact {
+    market: String,
+    index_name: String,
+    index: Vec<f32>,
+    /// strategy label -> k -> cumulative series
+    curves: BTreeMap<String, BTreeMap<usize, Vec<f64>>>,
+}
+
+/// Plot several named series as a compact ASCII chart.
+fn ascii_chart(series: &[(String, Vec<f64>)], width: usize, height: usize) {
+    let all: Vec<f64> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    let (min, max) = all
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (max - min).max(1e-9);
+    let marks = ['1', '5', 'X', 'I'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        for (i, &v) in s.iter().enumerate() {
+            let x = i * (width - 1) / (s.len() - 1).max(1);
+            let y = ((v - min) / span * (height - 1) as f64).round() as usize;
+            grid[height - 1 - y][x] = marks[si % marks.len()];
+        }
+    }
+    println!("  {max:+.3}");
+    for row in grid {
+        println!("  |{}", row.into_iter().collect::<String>());
+    }
+    println!("  {min:+.3}");
+    for (si, (name, _)) in series.iter().enumerate() {
+        println!("    {} = {}", marks[si % marks.len()], name);
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let common = CommonConfig { epochs: args.epochs, ..Default::default() };
+
+    for &market in &args.markets {
+        let spec = UniverseSpec::of(market, args.scale);
+        let ds = StockDataset::generate(spec, args.base_seed);
+        let test_days = ds.test_end_days();
+        let index = index_cumulative_returns(&ds, &test_days);
+        let mut curves: BTreeMap<String, BTreeMap<usize, Vec<f64>>> = BTreeMap::new();
+        for strategy in Strategy::ALL {
+            let s = Spec::Gcn(strategy);
+            eprintln!("[fig6] {}: {}", market.name(), s.name());
+            let mut model = s.build(&ds, &common, RelationKind::Both, args.base_seed);
+            model.fit(&ds);
+            let outcome = backtest(model.as_mut(), &ds, &KS, args.base_seed);
+            curves.insert(
+                strategy.label().to_string(),
+                outcome.daily_cumulative.iter().map(|(&k, v)| (k, v.clone())).collect(),
+            );
+        }
+        println!(
+            "\nFigure 6 — {} cumulative return ratio over {} test days (scale {:?})",
+            market.name(),
+            test_days.len(),
+            args.scale
+        );
+        for strategy in Strategy::ALL {
+            let label = strategy.label().to_string();
+            println!("\n{label} vs {}:", market.index_name());
+            let mut named: Vec<(String, Vec<f64>)> = KS
+                .iter()
+                .map(|k| (format!("IRR-{k}"), curves[&label][k].clone()))
+                .collect();
+            named.push((
+                market.index_name().to_string(),
+                index.iter().map(|&v| v as f64).collect(),
+            ));
+            ascii_chart(&named, 64, 12);
+            let final_vals: Vec<String> = KS
+                .iter()
+                .map(|k| format!("IRR-{k} = {:+.2}", curves[&label][k].last().unwrap()))
+                .collect();
+            println!(
+                "    final: {}, {} = {:+.2}",
+                final_vals.join(", "),
+                market.index_name(),
+                index.last().unwrap()
+            );
+        }
+        let artifact = CurveArtifact {
+            market: market.name().into(),
+            index_name: market.index_name().into(),
+            index,
+            curves,
+        };
+        let path = format!("{}/fig6_{}.json", args.out_dir, market.name().to_lowercase());
+        write_json(&path, &artifact).expect("write artifact");
+        eprintln!("[fig6] wrote {path}");
+    }
+}

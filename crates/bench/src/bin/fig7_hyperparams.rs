@@ -1,0 +1,127 @@
+//! Figure 7 — hyperparameter sensitivity of RT-GCN (T): training window
+//! size T ∈ {5, 10, 15, 20} (a–c), feature count 1–4 per Table VIII (d–f),
+//! and ranking-loss weight α ∈ {0, 1e-4, 1e-3, 1e-2, 0.1, 0.2, 0.5} (g–i).
+//! One panel group per market; each prints IRR-1/5/10 per setting.
+
+use rtgcn_bench::HarnessArgs;
+use rtgcn_baselines::CommonConfig;
+use rtgcn_core::{RtGcn, RtGcnConfig, StockRanker, Strategy};
+use rtgcn_eval::{backtest, write_json, Table};
+use rtgcn_market::{RelationKind, StockDataset, UniverseSpec};
+use serde::Serialize;
+
+const KS: [usize; 3] = [1, 5, 10];
+const WINDOWS: [usize; 4] = [5, 10, 15, 20];
+const FEATURES: [usize; 4] = [1, 2, 3, 4];
+const ALPHAS: [f32; 7] = [0.0, 1e-4, 1e-3, 1e-2, 0.1, 0.2, 0.5];
+
+#[derive(Serialize)]
+struct SweepPoint {
+    sweep: String,
+    value: f64,
+    irr: std::collections::BTreeMap<usize, f64>,
+}
+
+fn run_point(
+    ds: &StockDataset,
+    base: &CommonConfig,
+    t_steps: usize,
+    n_features: usize,
+    alpha: f32,
+    seeds: &[u64],
+) -> std::collections::BTreeMap<usize, f64> {
+    let mut acc: std::collections::BTreeMap<usize, f64> = KS.iter().map(|&k| (k, 0.0)).collect();
+    for &seed in seeds {
+        let cfg = RtGcnConfig {
+            t_steps,
+            n_features,
+            alpha,
+            rel_filters: base.hidden,
+            temporal_filters: base.hidden,
+            epochs: base.epochs,
+            lr: base.lr,
+            strategy: Strategy::TimeSensitive,
+            ..Default::default()
+        };
+        let mut model = RtGcn::new(cfg, &ds.relations(RelationKind::Both), seed);
+        model.fit(ds);
+        let outcome = backtest(&mut model, ds, &KS, seed);
+        for &k in &KS {
+            *acc.get_mut(&k).unwrap() += outcome.irr[&k] / seeds.len() as f64;
+        }
+    }
+    acc
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let base = CommonConfig { epochs: args.epochs, ..Default::default() };
+    let seeds = args.seed_list();
+
+    for &market in &args.markets {
+        let spec = UniverseSpec::of(market, args.scale);
+        let ds = StockDataset::generate(spec, args.base_seed);
+        println!(
+            "\nFigure 7 — RT-GCN (T) hyperparameter sweeps, {} (scale {:?}, {} seeds)",
+            market.name(),
+            args.scale,
+            seeds.len()
+        );
+        let mut artifact = Vec::new();
+
+        // (a–c) window size.
+        let mut t_table = Table::new(["Window T", "IRR-1", "IRR-5", "IRR-10"]);
+        for &t in &WINDOWS {
+            eprintln!("[fig7] {} window={t}", market.name());
+            let irr = run_point(&ds, &base, t, base.n_features, base.alpha, &seeds);
+            t_table.add_row([
+                t.to_string(),
+                format!("{:.2}", irr[&1]),
+                format!("{:.2}", irr[&5]),
+                format!("{:.2}", irr[&10]),
+            ]);
+            artifact.push(SweepPoint { sweep: "window".into(), value: t as f64, irr });
+        }
+        println!("\n(a-c) training window size:\n{}", t_table.render());
+
+        // (d–f) feature count (Table VIII combinations).
+        let mut f_table = Table::new(["Features", "IRR-1", "IRR-5", "IRR-10"]);
+        for &nf in &FEATURES {
+            eprintln!("[fig7] {} features={nf}", market.name());
+            let irr = run_point(&ds, &base, base.t_steps, nf, base.alpha, &seeds);
+            let combo = match nf {
+                1 => "close",
+                2 => "close+5d MA",
+                3 => "close+5d+10d MA",
+                _ => "close+5d+10d+20d MA",
+            };
+            f_table.add_row([
+                format!("{nf} ({combo})"),
+                format!("{:.2}", irr[&1]),
+                format!("{:.2}", irr[&5]),
+                format!("{:.2}", irr[&10]),
+            ]);
+            artifact.push(SweepPoint { sweep: "features".into(), value: nf as f64, irr });
+        }
+        println!("(d-f) feature number (Table VIII):\n{}", f_table.render());
+
+        // (g–i) balancing parameter α.
+        let mut a_table = Table::new(["alpha", "IRR-1", "IRR-5", "IRR-10"]);
+        for &a in &ALPHAS {
+            eprintln!("[fig7] {} alpha={a}", market.name());
+            let irr = run_point(&ds, &base, base.t_steps, base.n_features, a, &seeds);
+            a_table.add_row([
+                format!("{a}"),
+                format!("{:.2}", irr[&1]),
+                format!("{:.2}", irr[&5]),
+                format!("{:.2}", irr[&10]),
+            ]);
+            artifact.push(SweepPoint { sweep: "alpha".into(), value: a as f64, irr });
+        }
+        println!("(g-i) balancing parameter alpha:\n{}", a_table.render());
+
+        let path = format!("{}/fig7_{}.json", args.out_dir, market.name().to_lowercase());
+        write_json(&path, &artifact).expect("write artifact");
+        eprintln!("[fig7] wrote {path}");
+    }
+}

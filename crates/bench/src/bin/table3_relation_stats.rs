@@ -1,0 +1,39 @@
+//! Table III — statistics of wiki and industry relation data: relation type
+//! counts and relation ratios per market, regenerated from the calibrated
+//! relation generators.
+
+use rtgcn_bench::HarnessArgs;
+use rtgcn_eval::Table;
+use rtgcn_market::{StockDataset, UniverseSpec};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut table = Table::new([
+        "Market",
+        "Wiki types",
+        "Wiki ratio",
+        "Industry types",
+        "Industry ratio",
+    ]);
+    for &market in &args.markets {
+        let spec = UniverseSpec::of(market, args.scale);
+        let ds = StockDataset::generate(spec, args.base_seed);
+        let wiki = &ds.wiki.relations;
+        let ind = &ds.industry.relations;
+        let wiki_types = wiki.active_types();
+        table.add_row([
+            market.name().to_string(),
+            if wiki_types == 0 { "-".into() } else { wiki_types.to_string() },
+            if wiki_types == 0 {
+                "-".into()
+            } else {
+                format!("{:.1}%", 100.0 * wiki.relation_ratio())
+            },
+            ind.active_types().to_string(),
+            format!("{:.1}%", 100.0 * ind.relation_ratio()),
+        ]);
+    }
+    println!("Table III — relation statistics (scale: {:?})\n", args.scale);
+    println!("{}", table.render());
+    println!("(paper: NASDAQ 41/0.3%/97/5.4%, NYSE 28/0.4%/108/6.9%, CSI -/-/24/6.7%)");
+}

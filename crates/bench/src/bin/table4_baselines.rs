@@ -1,0 +1,106 @@
+//! Table IV — the main result: MRR and IRR-1/5/10 of all thirteen models on
+//! NASDAQ, NYSE and CSI, with the improvement of RT-GCN (T) over the
+//! strongest baseline and paired Wilcoxon p-values over the seeded runs.
+
+use rtgcn_bench::{evaluate, strongest_baseline, HarnessArgs, ModelRow, Spec};
+use rtgcn_baselines::CommonConfig;
+use rtgcn_eval::{fmt_opt, fmt_p, paired, write_json, Alternative, Table};
+use rtgcn_market::{RelationKind, StockDataset, UniverseSpec};
+
+const KS: [usize; 3] = [1, 5, 10];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let common = CommonConfig { epochs: args.epochs, ..Default::default() };
+    let seeds = args.seed_list();
+    let roster = Spec::table4_roster();
+
+    for &market in &args.markets {
+        let spec = UniverseSpec::of(market, args.scale);
+        let ds = StockDataset::generate(spec, args.base_seed);
+        eprintln!(
+            "[table4] {}: {} stocks, {} train days, {} test days, {} seeds x {} models",
+            market.name(),
+            ds.n_stocks(),
+            ds.spec.train_days,
+            ds.spec.test_days,
+            seeds.len(),
+            roster.len()
+        );
+        let mut rows: Vec<ModelRow> = Vec::new();
+        for spec_m in &roster {
+            eprintln!("[table4]   running {}", spec_m.name());
+            let row = evaluate(spec_m, &ds, &common, RelationKind::Both, &seeds, &KS);
+            rows.push(row);
+        }
+
+        let mut table = Table::new(["Cat", "Model", "MRR", "IRR-1", "IRR-5", "IRR-10"]);
+        for r in &rows {
+            table.add_row([
+                r.category.clone(),
+                r.name.clone(),
+                fmt_opt(r.mrr, 3),
+                fmt_opt(r.irr.get(&1).copied(), 2),
+                fmt_opt(r.irr.get(&5).copied(), 2),
+                fmt_opt(r.irr.get(&10).copied(), 2),
+            ]);
+        }
+        println!("\nTable IV — {} (scale {:?}, {} seeds)\n", market.name(), args.scale, seeds.len());
+        println!("{}", table.render());
+
+        // Improvement + significance of RT-GCN (T) vs strongest baseline.
+        let ours = rows.last().expect("roster ends with RT-GCN (T)");
+        let mut imp = Table::new(["Metric", "Strongest baseline", "RT-GCN (T)", "Improvement", "p-value"]);
+        let metrics: Vec<(String, Box<dyn Fn(&ModelRow) -> Option<f64>>, Vec<f64>, Vec<f64>)> = {
+            let mut v: Vec<(String, Box<dyn Fn(&ModelRow) -> Option<f64>>, Vec<f64>, Vec<f64>)> =
+                vec![(
+                    "MRR".to_string(),
+                    Box::new(|r: &ModelRow| r.mrr),
+                    ours.mrr_samples.clone(),
+                    vec![],
+                )];
+            for k in KS {
+                v.push((
+                    format!("IRR-{k}"),
+                    Box::new(move |r: &ModelRow| r.irr.get(&k).copied()),
+                    ours.irr_samples[&k].clone(),
+                    vec![],
+                ));
+            }
+            v
+        };
+        for (label, metric, ours_samples, _) in metrics {
+            let Some(best) = strongest_baseline(&rows, &metric) else { continue };
+            let best_samples = if label == "MRR" {
+                best.mrr_samples.clone()
+            } else {
+                let k: usize = label[4..].parse().unwrap();
+                best.irr_samples[&k].clone()
+            };
+            let (ov, bv) = (metric(ours).unwrap_or(f64::NAN), metric(best).unwrap_or(f64::NAN));
+            let improvement = if bv.abs() > 1e-12 { 100.0 * (ov - bv) / bv.abs() } else { f64::NAN };
+            let p = if ours_samples.len() == best_samples.len() && ours_samples.len() >= 2 {
+                Some(paired(&ours_samples, &best_samples, Alternative::Greater).p_value)
+            } else {
+                None
+            };
+            imp.add_row([
+                label,
+                format!("{} ({bv:.3})", best.name),
+                format!("{ov:.3}"),
+                format!("{improvement:+.1}%"),
+                p.map(fmt_p).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        println!("{}", imp.render());
+        if seeds.len() < 15 {
+            println!(
+                "note: paper uses 15 seeds; {} seed(s) here — rerun with --seeds 15 for paper-grade p-values\n",
+                seeds.len()
+            );
+        }
+        let path = format!("{}/table4_{}.json", args.out_dir, market.name().to_lowercase());
+        write_json(&path, &rows).expect("write artifact");
+        eprintln!("[table4] wrote {path}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Table VII — module ablation: R-Conv (relational convolution only) and
+//! T-Conv (temporal convolution only) vs the full RT-GCN (U), across all
+//! three markets.
+
+use rtgcn_bench::{evaluate, HarnessArgs, Spec};
+use rtgcn_baselines::CommonConfig;
+use rtgcn_core::Strategy;
+use rtgcn_eval::{fmt_opt, write_json, Table};
+use rtgcn_market::{RelationKind, StockDataset, UniverseSpec};
+
+const KS: [usize; 3] = [1, 5, 10];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let common = CommonConfig { epochs: args.epochs, ..Default::default() };
+    let seeds = args.seed_list();
+    let roster = [Spec::Gcn(Strategy::Uniform), Spec::RConv, Spec::TConv];
+
+    for &market in &args.markets {
+        let spec = UniverseSpec::of(market, args.scale);
+        let ds = StockDataset::generate(spec, args.base_seed);
+        let mut table = Table::new(["Model", "MRR", "IRR-1", "IRR-5", "IRR-10"]);
+        let mut rows = Vec::new();
+        for s in &roster {
+            eprintln!("[table7] {}: {}", market.name(), s.name());
+            let row = evaluate(s, &ds, &common, RelationKind::Both, &seeds, &KS);
+            table.add_row([
+                row.name.clone(),
+                fmt_opt(row.mrr, 3),
+                fmt_opt(row.irr.get(&1).copied(), 2),
+                fmt_opt(row.irr.get(&5).copied(), 2),
+                fmt_opt(row.irr.get(&10).copied(), 2),
+            ]);
+            rows.push(row);
+        }
+        println!(
+            "\nTable VII — {} (scale {:?}, {} seeds)\n",
+            market.name(),
+            args.scale,
+            seeds.len()
+        );
+        println!("{}", table.render());
+        let path = format!("{}/table7_{}.json", args.out_dir, market.name().to_lowercase());
+        write_json(&path, &rows).expect("write artifact");
+        eprintln!("[table7] wrote {path}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Tiny hand-rolled CLI shared by every experiment harness (keeps the
+//! dependency set inside the allowed list — no clap).
+
+use rtgcn_market::{Market, Scale};
+
+/// Options common to all harness binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Dataset scale (DESIGN.md §4.5). Default: small.
+    pub scale: Scale,
+    /// Number of seeded repetitions (paper: 15). Default: 3.
+    pub seeds: usize,
+    /// Training epochs per model. Default: 4.
+    pub epochs: usize,
+    /// Markets to run. Default: all three.
+    pub markets: Vec<Market>,
+    /// Output directory for JSON artifacts.
+    pub out_dir: String,
+    /// Base RNG seed.
+    pub base_seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: Scale::Small,
+            seeds: 3,
+            epochs: 4,
+            markets: Market::ALL.to_vec(),
+            out_dir: "results".into(),
+            base_seed: 7,
+        }
+    }
+}
+
+fn parse_market(s: &str) -> Option<Market> {
+    match s.to_ascii_lowercase().as_str() {
+        "nasdaq" => Some(Market::Nasdaq),
+        "nyse" => Some(Market::Nyse),
+        "csi" => Some(Market::Csi),
+        _ => None,
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `--scale`, `--seeds`, `--epochs`, `--markets a,b`, `--out`,
+    /// `--seed`. Unknown flags abort with usage (fail fast beats silently
+    /// running the wrong experiment).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    let v = value("--scale")?;
+                    out.scale =
+                        Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+                }
+                "--seeds" => {
+                    out.seeds = value("--seeds")?
+                        .parse()
+                        .map_err(|e| format!("--seeds: {e}"))?;
+                }
+                "--epochs" => {
+                    out.epochs = value("--epochs")?
+                        .parse()
+                        .map_err(|e| format!("--epochs: {e}"))?;
+                }
+                "--markets" => {
+                    let v = value("--markets")?;
+                    out.markets = v
+                        .split(',')
+                        .map(|m| parse_market(m).ok_or_else(|| format!("unknown market {m:?}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--out" => out.out_dir = value("--out")?,
+                "--seed" => {
+                    out.base_seed =
+                        value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag {other:?}\nusage: [--scale small|medium|paper] [--seeds N] \
+                         [--epochs N] [--markets nasdaq,nyse,csi] [--out DIR] [--seed N]"
+                    ))
+                }
+            }
+        }
+        if out.seeds == 0 || out.epochs == 0 {
+            return Err("--seeds and --epochs must be >= 1".into());
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process environment, exiting with usage on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The seed list for repetition `0..seeds`.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds as u64).map(|i| self.base_seed + 1000 * i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.markets.len(), 3);
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "--scale", "paper", "--seeds", "15", "--epochs", "10", "--markets", "csi,nasdaq",
+            "--out", "/tmp/x", "--seed", "99",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.seeds, 15);
+        assert_eq!(a.epochs, 10);
+        assert_eq!(a.markets, vec![Market::Csi, Market::Nasdaq]);
+        assert_eq!(a.out_dir, "/tmp/x");
+        assert_eq!(a.seed_list()[1], 1099);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale", "tiny"]).is_err());
+        assert!(parse(&["--seeds", "0"]).is_err());
+        assert!(parse(&["--markets", "tse"]).is_err());
+    }
+}

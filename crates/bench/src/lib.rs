@@ -1,0 +1,17 @@
+//! # rtgcn-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`) plus Criterion micro-benchmarks (`benches/`). Shared pieces:
+//!
+//! - [`cli`] — harness flags (`--scale`, `--seeds`, `--epochs`, ...);
+//! - [`models`] — the unified [`models::Spec`] over RT-GCN, its ablations
+//!   and all baselines;
+//! - [`runner`] — seeded fit + backtest orchestration and aggregation.
+
+pub mod cli;
+pub mod models;
+pub mod runner;
+
+pub use cli::HarnessArgs;
+pub use models::Spec;
+pub use runner::{aggregate, evaluate, run_seeds, strongest_baseline, ModelRow, SeedRun};

@@ -1,0 +1,118 @@
+//! Unified model specification across RT-GCN variants, ablations and every
+//! baseline, so harnesses can declare a roster and iterate.
+
+use rtgcn_baselines::{build as build_baseline, CommonConfig, ModelKind};
+use rtgcn_core::{RtGcn, RtGcnConfig, StockRanker, Strategy};
+use rtgcn_market::{RelationKind, StockDataset};
+
+/// Any model in the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Spec {
+    Baseline(ModelKind),
+    Gcn(Strategy),
+    /// Table VII ablations of RT-GCN (U).
+    RConv,
+    TConv,
+}
+
+impl Spec {
+    /// The full Table IV roster: 10 baselines + the three RT-GCN strategies.
+    pub fn table4_roster() -> Vec<Spec> {
+        let mut v: Vec<Spec> = ModelKind::TABLE4.iter().copied().map(Spec::Baseline).collect();
+        v.extend(Strategy::ALL.iter().copied().map(Spec::Gcn));
+        v
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Spec::Baseline(k) => {
+                // Names come from the model itself; build a throwaway.
+                let common =
+                    CommonConfig { t_steps: 5, n_features: 1, hidden: 4, epochs: 1, ..Default::default() };
+                build_baseline(*k, &common, 0).name()
+            }
+            Spec::Gcn(s) => s.label().to_string(),
+            Spec::RConv => "R-Conv".into(),
+            Spec::TConv => "T-Conv".into(),
+        }
+    }
+
+    /// Category (CLF/REG/RL/RAN/Ours).
+    pub fn category(&self) -> &'static str {
+        match self {
+            Spec::Baseline(k) => k.category(),
+            _ => "Ours",
+        }
+    }
+
+    /// Build the model for one seeded run. Graph models take their relation
+    /// edges from `ds` filtered by `relation_kind`.
+    pub fn build(
+        &self,
+        ds: &StockDataset,
+        common: &CommonConfig,
+        relation_kind: RelationKind,
+        seed: u64,
+    ) -> Box<dyn StockRanker> {
+        match self {
+            Spec::Baseline(k) => {
+                let common = CommonConfig { relation_kind, ..common.clone() };
+                build_baseline(*k, &common, seed)
+            }
+            Spec::Gcn(strategy) => {
+                let cfg = gcn_config(common, *strategy, true, true);
+                Box::new(RtGcn::new(cfg, &ds.relations(relation_kind), seed))
+            }
+            Spec::RConv => {
+                let cfg = gcn_config(common, Strategy::Uniform, true, false);
+                Box::new(RtGcn::new(cfg, &ds.relations(relation_kind), seed))
+            }
+            Spec::TConv => {
+                let cfg = gcn_config(common, Strategy::Uniform, false, true);
+                Box::new(RtGcn::new(cfg, &ds.relations(relation_kind), seed))
+            }
+        }
+    }
+}
+
+fn gcn_config(
+    common: &CommonConfig,
+    strategy: Strategy,
+    use_relational: bool,
+    use_temporal: bool,
+) -> RtGcnConfig {
+    RtGcnConfig {
+        t_steps: common.t_steps,
+        n_features: common.n_features,
+        rel_filters: common.hidden,
+        temporal_filters: common.hidden,
+        epochs: common.epochs,
+        lr: common.lr,
+        alpha: common.alpha,
+        strategy,
+        use_relational,
+        use_temporal,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_13_models() {
+        let r = Spec::table4_roster();
+        assert_eq!(r.len(), 13);
+        assert_eq!(r[0].name(), "ARIMA");
+        assert_eq!(r[12].name(), "RT-GCN (T)");
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(Spec::Gcn(Strategy::Uniform).category(), "Ours");
+        assert_eq!(Spec::Baseline(ModelKind::RsrE).category(), "RAN");
+        assert_eq!(Spec::RConv.name(), "R-Conv");
+    }
+}

@@ -1,0 +1,160 @@
+//! Seeded run orchestration and aggregation shared by the table/figure
+//! harnesses: fit + backtest per seed, means across seeds, and the paired
+//! significance samples Table IV/V need.
+
+use crate::models::Spec;
+use rtgcn_baselines::CommonConfig;
+use rtgcn_eval::{backtest, BacktestOutcome};
+use rtgcn_core::FitReport;
+use rtgcn_market::{RelationKind, StockDataset};
+use serde::Serialize;
+
+/// One seeded repetition of one model on one dataset.
+pub struct SeedRun {
+    pub seed: u64,
+    pub outcome: BacktestOutcome,
+    pub fit: FitReport,
+}
+
+/// Aggregated results of a model over its seeds (what a table row shows).
+#[derive(Clone, Debug, Serialize)]
+pub struct ModelRow {
+    pub name: String,
+    pub category: String,
+    pub mrr: Option<f64>,
+    /// Mean IRR per k.
+    pub irr: std::collections::BTreeMap<usize, f64>,
+    /// Per-seed IRR samples per k (for Wilcoxon).
+    pub irr_samples: std::collections::BTreeMap<usize, Vec<f64>>,
+    /// Per-seed MRR samples (empty for CLF models).
+    pub mrr_samples: Vec<f64>,
+    pub mean_train_secs: f64,
+    pub mean_test_secs: f64,
+}
+
+/// Fit and backtest `spec` once per seed.
+pub fn run_seeds(
+    spec: &Spec,
+    ds: &StockDataset,
+    common: &CommonConfig,
+    relation_kind: RelationKind,
+    seeds: &[u64],
+    ks: &[usize],
+) -> Vec<SeedRun> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut model = spec.build(ds, common, relation_kind, seed);
+            let fit = model.fit(ds);
+            let outcome = backtest(model.as_mut(), ds, ks, seed);
+            SeedRun { seed, outcome, fit }
+        })
+        .collect()
+}
+
+/// Aggregate seed runs into a table row.
+pub fn aggregate(spec: &Spec, runs: &[SeedRun], ks: &[usize]) -> ModelRow {
+    let n = runs.len().max(1) as f64;
+    let mut irr = std::collections::BTreeMap::new();
+    let mut irr_samples = std::collections::BTreeMap::new();
+    for &k in ks {
+        let samples: Vec<f64> = runs.iter().map(|r| r.outcome.irr[&k]).collect();
+        irr.insert(k, samples.iter().sum::<f64>() / n);
+        irr_samples.insert(k, samples);
+    }
+    let mrr_samples: Vec<f64> = runs.iter().filter_map(|r| r.outcome.mrr).collect();
+    let mrr = if mrr_samples.is_empty() {
+        None
+    } else {
+        Some(mrr_samples.iter().sum::<f64>() / mrr_samples.len() as f64)
+    };
+    ModelRow {
+        name: spec.name(),
+        category: spec.category().to_string(),
+        mrr,
+        irr,
+        irr_samples,
+        mrr_samples,
+        mean_train_secs: runs.iter().map(|r| r.fit.train_secs).sum::<f64>() / n,
+        mean_test_secs: runs.iter().map(|r| r.outcome.test_secs).sum::<f64>() / n,
+    }
+}
+
+/// Convenience: run + aggregate.
+pub fn evaluate(
+    spec: &Spec,
+    ds: &StockDataset,
+    common: &CommonConfig,
+    relation_kind: RelationKind,
+    seeds: &[u64],
+    ks: &[usize],
+) -> ModelRow {
+    let runs = run_seeds(spec, ds, common, relation_kind, seeds, ks);
+    aggregate(spec, &runs, ks)
+}
+
+/// The strongest baseline for a metric: highest mean among non-"Ours" rows.
+pub fn strongest_baseline<'a>(
+    rows: &'a [ModelRow],
+    metric: impl Fn(&ModelRow) -> Option<f64>,
+) -> Option<&'a ModelRow> {
+    rows.iter()
+        .filter(|r| r.category != "Ours")
+        .filter_map(|r| metric(r).map(|v| (r, v)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(r, _)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgcn_core::Strategy;
+    use rtgcn_market::{Market, Scale, UniverseSpec};
+
+    fn tiny_ds() -> StockDataset {
+        let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        spec.stocks = 8;
+        spec.train_days = 40;
+        spec.test_days = 8;
+        StockDataset::generate(spec, 1)
+    }
+
+    fn tiny_common() -> CommonConfig {
+        CommonConfig { t_steps: 8, n_features: 2, hidden: 8, epochs: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn evaluate_rtgcn_over_two_seeds() {
+        let ds = tiny_ds();
+        let row = evaluate(
+            &Spec::Gcn(Strategy::Uniform),
+            &ds,
+            &tiny_common(),
+            RelationKind::Both,
+            &[1, 2],
+            &[1, 5],
+        );
+        assert_eq!(row.name, "RT-GCN (U)");
+        assert_eq!(row.irr_samples[&1].len(), 2);
+        assert_eq!(row.mrr_samples.len(), 2);
+        assert!(row.mrr.unwrap() > 0.0);
+        assert!(row.mean_train_secs > 0.0);
+    }
+
+    #[test]
+    fn strongest_baseline_excludes_ours() {
+        let mk = |name: &str, cat: &str, irr1: f64| ModelRow {
+            name: name.into(),
+            category: cat.into(),
+            mrr: Some(0.01),
+            irr: [(1usize, irr1)].into_iter().collect(),
+            irr_samples: Default::default(),
+            mrr_samples: vec![],
+            mean_train_secs: 0.0,
+            mean_test_secs: 0.0,
+        };
+        let rows = vec![mk("A", "RAN", 0.5), mk("B", "RAN", 0.9), mk("Ours", "Ours", 2.0)];
+        let best = strongest_baseline(&rows, |r| r.irr.get(&1).copied()).unwrap();
+        assert_eq!(best.name, "B");
+    }
+}

@@ -1,0 +1,361 @@
+//! The end-to-end RT-GCN model (paper Section IV, Figure 3): stacked
+//! relation-temporal graph convolution layers → average pooling over the
+//! temporal dimension → fully connected ranking-score head, trained with the
+//! combined regression + pairwise-ranking objective (Eq. 9).
+
+use crate::config::RtGcnConfig;
+use crate::layers::{RelationalConv, TemporalConvBlock};
+use crate::strategy::StrategyCtx;
+use rand::rngs::StdRng;
+use rtgcn_graph::RelationTensor;
+use rtgcn_tensor::{
+    clip_grad_norm, init, ConvSpec, Optimizer, ParamId, ParamStore, Tape, Tensor, Var,
+};
+
+/// A ready-to-train RT-GCN over a fixed stock universe and relation tensor.
+pub struct RtGcn {
+    pub config: RtGcnConfig,
+    pub store: ParamStore,
+    pub ctx: StrategyCtx,
+    rel_convs: Vec<RelationalConv>,
+    tcn_blocks: Vec<TemporalConvBlock>,
+    fc_w: ParamId,
+    fc_b: ParamId,
+    rng: StdRng,
+    n_stocks: usize,
+}
+
+impl RtGcn {
+    /// Build the model. Panics on invalid configuration (use
+    /// [`RtGcnConfig::validate`] for a `Result`).
+    pub fn new(config: RtGcnConfig, relations: &RelationTensor, seed: u64) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid RtGcnConfig: {e}"));
+        let mut rng = init::rng(seed);
+        let mut store = ParamStore::new();
+        let ctx = StrategyCtx::new(relations);
+        let k = ctx.k_types;
+        let mut rel_convs = Vec::new();
+        let mut tcn_blocks = Vec::new();
+        let mut width = config.n_features;
+        for layer in 0..config.layers {
+            if config.use_relational {
+                rel_convs.push(RelationalConv::new(
+                    &mut store,
+                    &format!("layer{layer}.rel"),
+                    width,
+                    config.rel_filters,
+                    k,
+                    config.strategy,
+                    &mut rng,
+                ));
+                width = config.rel_filters;
+            }
+            if config.use_temporal {
+                tcn_blocks.push(TemporalConvBlock::new(
+                    &mut store,
+                    &format!("layer{layer}.tcn"),
+                    width,
+                    config.temporal_filters,
+                    ConvSpec::new(config.kernel, config.stride, 1),
+                    config.dropout,
+                    &mut rng,
+                ));
+                width = config.temporal_filters;
+            }
+        }
+        let fc_w = store.add("fc.w", init::xavier([width, 1], &mut rng));
+        let fc_b = store.add("fc.b", Tensor::zeros([1]));
+        RtGcn {
+            config,
+            store,
+            ctx,
+            rel_convs,
+            tcn_blocks,
+            fc_w,
+            fc_b,
+            rng,
+            n_stocks: relations.num_stocks(),
+        }
+    }
+
+    pub fn n_stocks(&self) -> usize {
+        self.n_stocks
+    }
+
+    /// Trainable scalar count (for the speed-comparison context).
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Save trained parameters to a checkpoint file (see
+    /// [`rtgcn_tensor::ParamStore::save`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.store.save(path)
+    }
+
+    /// Load parameters from a checkpoint produced by [`RtGcn::save`] into a
+    /// model built with the same configuration and relation graph.
+    pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.store.load(path)
+    }
+
+    /// Split an `(T, N, D)` input tensor into per-plane `(N, D)` vars.
+    fn split_steps(&self, tape: &mut Tape, x: &Tensor) -> Vec<Var> {
+        let (t, n, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        assert_eq!(t, self.config.t_steps, "input window length mismatch");
+        assert_eq!(n, self.n_stocks, "stock count mismatch");
+        assert_eq!(d, self.config.n_features, "feature count mismatch");
+        let xv = tape.constant(x.clone());
+        (0..t)
+            .map(|s| {
+                let plane = tape.slice_rows(xv, s, s + 1);
+                tape.reshape(plane, [n, d])
+            })
+            .collect()
+    }
+
+    /// Forward pass producing the ranking scores `r̂ ∈ R^N`.
+    pub fn forward(&mut self, tape: &mut Tape, x: &Tensor, training: bool) -> Var {
+        let mut xs = self.split_steps(tape, x);
+        let n = self.n_stocks;
+        let (mut rel_i, mut tcn_i) = (0usize, 0usize);
+        for _layer in 0..self.config.layers {
+            if self.config.use_relational {
+                xs = self.rel_convs[rel_i].forward(tape, &self.store, &self.ctx, &xs);
+                rel_i += 1;
+            }
+            if self.config.use_temporal {
+                let stacked = tape.stack0(&xs); // (T, N, C)
+                let nct = tape.permute3(stacked, [1, 2, 0]); // (N, C, T)
+                let out =
+                    self.tcn_blocks[tcn_i].forward(tape, &self.store, nct, training, &mut self.rng);
+                tcn_i += 1;
+                // Back to per-plane layout for a possible next layer.
+                let tnc = tape.permute3(out, [2, 0, 1]); // (T', N, C)
+                let t_out = tape.value(tnc).dims()[0];
+                let c = tape.value(tnc).dims()[2];
+                xs = (0..t_out)
+                    .map(|s| {
+                        let plane = tape.slice_rows(tnc, s, s + 1);
+                        tape.reshape(plane, [n, c])
+                    })
+                    .collect();
+            }
+        }
+        // Average pooling over the remaining temporal dimension (stride = H).
+        let stacked = tape.stack0(&xs); // (T', N, C)
+        let pooled = tape.mean_axis(stacked, 0); // (N, C)
+        let fc_w = self.store.bind(tape, self.fc_w);
+        let fc_b = self.store.bind(tape, self.fc_b);
+        let scores = tape.linear(pooled, fc_w, fc_b); // (N, 1)
+        tape.reshape(scores, [n])
+    }
+
+    /// Inference: ranking scores as a plain vector.
+    pub fn score(&mut self, x: &Tensor) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let s = self.forward(&mut tape, x, false);
+        let out = tape.value(s).data().to_vec();
+        self.store.clear_bindings();
+        out
+    }
+
+    /// One optimisation step on a single day's window. Returns the loss.
+    pub fn train_step(&mut self, x: &Tensor, y: &Tensor, opt: &mut dyn Optimizer) -> f32 {
+        let mut tape = Tape::new();
+        let scores = self.forward(&mut tape, x, true);
+        let loss = tape.combined_rank_loss(scores, y, self.config.alpha);
+        let loss_val = tape.value(loss).item();
+        tape.backward(loss);
+        self.store.absorb_grads(&tape);
+        clip_grad_norm(&mut self.store, 5.0);
+        opt.step(&mut self.store);
+        loss_val
+    }
+
+    /// Snapshot of the strategy's weighted adjacency for introspection
+    /// (Figure 8 case study): one weight vector per time-step, aligned with
+    /// `self.ctx.edges` (relation edges then self-loops). Uniform/Weighted
+    /// return a single shared snapshot.
+    pub fn adjacency_snapshot(&mut self, x: &Tensor) -> Vec<Vec<f32>> {
+        use crate::config::Strategy;
+        let mut tape = Tape::new();
+        let xs = self.split_steps(&mut tape, x);
+        let conv = self.rel_convs.first();
+        let out = match self.config.strategy {
+            Strategy::Uniform => {
+                let a = self.ctx.adjacency_uniform(&mut tape);
+                vec![tape.value(a).data().to_vec()]
+            }
+            Strategy::Weighted => {
+                let conv = conv.expect("relational module disabled");
+                let w = self.store.bind(&mut tape, conv.w_rel);
+                let b = self.store.bind(&mut tape, conv.b_rel);
+                let a = self.ctx.adjacency_weighted(&mut tape, w, b);
+                vec![tape.value(a).data().to_vec()]
+            }
+            Strategy::TimeSensitive => {
+                let conv = conv.expect("relational module disabled");
+                xs.iter()
+                    .map(|&x_t| {
+                        let w = self.store.bind(&mut tape, conv.w_rel);
+                        let b = self.store.bind(&mut tape, conv.b_rel);
+                        let a = self.ctx.adjacency_time_sensitive(&mut tape, w, b, x_t);
+                        tape.value(a).data().to_vec()
+                    })
+                    .collect()
+            }
+        };
+        self.store.clear_bindings();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use rtgcn_tensor::Adam;
+
+    fn relations(n: usize) -> RelationTensor {
+        let mut r = RelationTensor::new(n, 2);
+        for i in 0..n - 1 {
+            r.connect(i, i + 1, i % 2);
+        }
+        r
+    }
+
+    fn toy_input(t: usize, n: usize, d: usize, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = init::rng(seed);
+        let x = init::normal([t, n, d], 0.5, &mut rng);
+        let y = init::normal([n], 0.02, &mut rng);
+        (x, y)
+    }
+
+    #[test]
+    fn forward_shapes_all_strategies() {
+        for strategy in Strategy::ALL {
+            let mut cfg = RtGcnConfig::with_strategy(strategy);
+            cfg.t_steps = 8;
+            cfg.n_features = 3;
+            let mut model = RtGcn::new(cfg, &relations(5), 1);
+            let (x, _) = toy_input(8, 5, 3, 2);
+            let scores = model.score(&x);
+            assert_eq!(scores.len(), 5, "{strategy:?}");
+            assert!(scores.iter().all(|s| s.is_finite()), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn ablation_variants_run() {
+        for cfg in [RtGcnConfig::r_conv(), RtGcnConfig::t_conv()] {
+            let mut cfg = cfg;
+            cfg.t_steps = 8;
+            cfg.n_features = 2;
+            let mut model = RtGcn::new(cfg, &relations(4), 3);
+            let (x, _) = toy_input(8, 4, 2, 4);
+            assert_eq!(model.score(&x).len(), 4);
+        }
+    }
+
+    #[test]
+    fn two_layer_stack_runs() {
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::TimeSensitive);
+        cfg.layers = 2;
+        cfg.t_steps = 12;
+        cfg.n_features = 2;
+        let mut model = RtGcn::new(cfg, &relations(4), 5);
+        let (x, _) = toy_input(12, 4, 2, 6);
+        assert_eq!(model.score(&x).len(), 4);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::Weighted);
+        cfg.t_steps = 8;
+        cfg.n_features = 2;
+        cfg.dropout = 0.0;
+        let mut model = RtGcn::new(cfg, &relations(6), 7);
+        let (x, y) = toy_input(8, 6, 2, 8);
+        let mut opt = Adam::new(5e-3, 0.0);
+        let first = model.train_step(&x, &y, &mut opt);
+        let mut last = first;
+        for _ in 0..60 {
+            last = model.train_step(&x, &y, &mut opt);
+        }
+        assert!(
+            last < first * 0.8,
+            "loss should drop on a fixed batch: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut cfg = RtGcnConfig::with_strategy(Strategy::TimeSensitive);
+            cfg.t_steps = 6;
+            cfg.n_features = 2;
+            let mut m = RtGcn::new(cfg, &relations(4), 11);
+            let (x, _) = toy_input(6, 4, 2, 12);
+            m.score(&x)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn adjacency_snapshot_per_step_only_for_time_sensitive() {
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::TimeSensitive);
+        cfg.t_steps = 5;
+        cfg.n_features = 2;
+        let mut model = RtGcn::new(cfg, &relations(4), 13);
+        let (x, _) = toy_input(5, 4, 2, 14);
+        let snaps = model.adjacency_snapshot(&x);
+        assert_eq!(snaps.len(), 5, "one adjacency per time-step");
+        assert_ne!(snaps[0], snaps[4], "adjacency evolves across steps");
+
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::Weighted);
+        cfg.t_steps = 5;
+        cfg.n_features = 2;
+        let mut model = RtGcn::new(cfg, &relations(4), 13);
+        assert_eq!(model.adjacency_snapshot(&x).len(), 1, "shared adjacency");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_scores() {
+        let dir = std::env::temp_dir().join("rtgcn_model_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.rtgp");
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::Weighted);
+        cfg.t_steps = 6;
+        cfg.n_features = 2;
+        cfg.dropout = 0.0;
+        let rel = relations(4);
+        let mut a = RtGcn::new(cfg.clone(), &rel, 31);
+        let (x, y) = toy_input(6, 4, 2, 32);
+        let mut opt = Adam::new(1e-3, 0.0);
+        for _ in 0..5 {
+            a.train_step(&x, &y, &mut opt);
+        }
+        let expect = a.score(&x);
+        a.save(&path).unwrap();
+        // Fresh model with different seed, then load the checkpoint.
+        let mut b = RtGcn::new(cfg, &rel, 99);
+        assert_ne!(b.score(&x), expect, "different init should differ");
+        b.load(&path).unwrap();
+        assert_eq!(b.score(&x), expect, "loaded model must reproduce scores");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scores_differ_across_stocks() {
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::Uniform);
+        cfg.t_steps = 8;
+        cfg.n_features = 2;
+        let mut model = RtGcn::new(cfg, &relations(6), 17);
+        let (x, _) = toy_input(8, 6, 2, 18);
+        let s = model.score(&x);
+        let spread = s.iter().cloned().fold(f32::MIN, f32::max)
+            - s.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(spread > 1e-6, "scores should not collapse, spread {spread}");
+    }
+}

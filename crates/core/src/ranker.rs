@@ -1,0 +1,154 @@
+//! The common interface every model in the evaluation implements, plus the
+//! RT-GCN implementation. Harnesses (Tables IV–VII, Figures 5–8) drive
+//! models exclusively through [`StockRanker`], so RT-GCN and all eleven
+//! baselines are interchangeable.
+
+use crate::model::RtGcn;
+use rtgcn_market::StockDataset;
+use rtgcn_tensor::Adam;
+use std::time::Instant;
+
+/// Outcome of fitting a model (Figure 5's speed comparison reads the times).
+#[derive(Clone, Debug, Default)]
+pub struct FitReport {
+    /// Wall-clock seconds spent training.
+    pub train_secs: f64,
+    /// Mean training loss of the final epoch (NaN for non-loss models).
+    pub final_loss: f32,
+    /// Per-epoch mean losses.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// A model that ranks stocks by expected next-day return ratio.
+pub trait StockRanker {
+    /// Display name used in result tables (e.g. `RT-GCN (T)`).
+    fn name(&self) -> String;
+
+    /// Train on the dataset's training split.
+    fn fit(&mut self, ds: &StockDataset) -> FitReport;
+
+    /// Ranking scores for the window ending at `end_day` (higher = buy).
+    fn scores_for_day(&mut self, ds: &StockDataset, end_day: usize) -> Vec<f32>;
+
+    /// Whether scores are a true ranking. Classification baselines return
+    /// `false`: their "scores" are class ids (2 = up, 1 = neutral, 0 = down)
+    /// and the evaluator falls back to random top-N among predicted-up
+    /// stocks (paper Section V-C.1).
+    fn can_rank(&self) -> bool {
+        true
+    }
+}
+
+impl StockRanker for RtGcn {
+    fn name(&self) -> String {
+        let mut label = self.config.strategy.label().to_string();
+        if !self.config.use_temporal {
+            label = "R-Conv".to_string();
+        } else if !self.config.use_relational {
+            label = "T-Conv".to_string();
+        }
+        label
+    }
+
+    fn fit(&mut self, ds: &StockDataset) -> FitReport {
+        let t0 = Instant::now();
+        let mut opt = Adam::new(self.config.lr, self.config.lambda);
+        let days = ds.train_end_days(self.config.t_steps);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _epoch in 0..self.config.epochs {
+            let mut acc = 0.0f64;
+            for &day in &days {
+                let s = ds.sample(day, self.config.t_steps, self.config.n_features);
+                acc += self.train_step(&s.x, &s.y, &mut opt) as f64;
+            }
+            epoch_losses.push((acc / days.len().max(1) as f64) as f32);
+        }
+        FitReport {
+            train_secs: t0.elapsed().as_secs_f64(),
+            final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
+            epoch_losses,
+        }
+    }
+
+    fn scores_for_day(&mut self, ds: &StockDataset, end_day: usize) -> Vec<f32> {
+        let s = ds.sample(end_day, self.config.t_steps, self.config.n_features);
+        self.score(&s.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RtGcnConfig, Strategy};
+    use rtgcn_market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
+
+    fn tiny_dataset() -> StockDataset {
+        let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        spec.stocks = 12;
+        spec.train_days = 60;
+        spec.test_days = 10;
+        spec.sectors = 3;
+        StockDataset::generate(spec, 1)
+    }
+
+    fn tiny_config(strategy: Strategy) -> RtGcnConfig {
+        RtGcnConfig {
+            t_steps: 8,
+            n_features: 2,
+            rel_filters: 8,
+            temporal_filters: 8,
+            epochs: 2,
+            strategy,
+            dropout: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_and_score_through_trait() {
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut model = RtGcn::new(tiny_config(Strategy::Weighted), &relations, 3);
+        let report = model.fit(&ds);
+        assert_eq!(report.epoch_losses.len(), 2);
+        assert!(report.train_secs > 0.0);
+        assert!(report.final_loss.is_finite());
+        let day = ds.test_end_days()[0];
+        let scores = model.scores_for_day(&ds, day);
+        assert_eq!(scores.len(), ds.n_stocks());
+        assert!(model.can_rank());
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut cfg = tiny_config(Strategy::Uniform);
+        cfg.epochs = 4;
+        let mut model = RtGcn::new(cfg, &relations, 5);
+        let report = model.fit(&ds);
+        assert!(
+            report.epoch_losses.last().unwrap() <= report.epoch_losses.first().unwrap(),
+            "losses {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn names_for_ablations() {
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut r = RtGcnConfig::r_conv();
+        r.t_steps = 8;
+        r.n_features = 2;
+        let m = RtGcn::new(r, &relations, 1);
+        assert_eq!(m.name(), "R-Conv");
+        let mut t = RtGcnConfig::t_conv();
+        t.t_steps = 8;
+        t.n_features = 2;
+        let m = RtGcn::new(t, &relations, 1);
+        assert_eq!(m.name(), "T-Conv");
+        let m = RtGcn::new(tiny_config(Strategy::TimeSensitive), &relations, 1);
+        assert_eq!(m.name(), "RT-GCN (T)");
+    }
+}

@@ -1,0 +1,229 @@
+//! Differentiable construction of the weighted adjacency `A` from the
+//! relation tensor `𝒜` — the three relation-aware strategies of paper
+//! Section IV-B, including the Kipf–Welling renormalisation
+//! `D̃^{-1/2}(A + I)D̃^{-1/2}` expressed with tape ops so gradients reach the
+//! strategy parameters `w ∈ R^K, b` (and, for the time-sensitive strategy,
+//! the node features).
+
+use rtgcn_graph::{renormalize_uniform, RelationTensor, DEGREE_EPS};
+use rtgcn_tensor::{Edges, Tape, Tensor, Var};
+
+/// Static per-dataset context shared by every forward pass: the directed
+/// relation edges with self-loops appended, the per-edge multi-hot relation
+/// vectors, and the precomputed uniform-strategy weights.
+#[derive(Clone, Debug)]
+pub struct StrategyCtx {
+    /// Relation edges followed by one self-loop per node (order matters:
+    /// weight vectors are laid out the same way).
+    pub edges: Edges,
+    /// Number of leading relation edges (the rest are self-loops).
+    pub n_rel_edges: usize,
+    /// Number of relation types K.
+    pub k_types: usize,
+    /// `(E_rel, K)` multi-hot matrix, one row per relation edge.
+    pub multi_hot: Tensor,
+    /// Precomputed Eq. 3 weights (already renormalised), length `E_total`.
+    pub uniform_weights: Vec<f32>,
+}
+
+impl StrategyCtx {
+    pub fn new(relations: &RelationTensor) -> Self {
+        let n = relations.num_stocks();
+        let rel_edges = relations.directed_edges();
+        let n_rel = rel_edges.len();
+        let k = relations.num_types();
+        let multi_hot = Tensor::new([n_rel, k.max(1)], if k == 0 {
+            vec![0.0; n_rel]
+        } else {
+            relations.edge_multi_hot_flat()
+        });
+        let norm = renormalize_uniform(n, &rel_edges);
+        StrategyCtx {
+            edges: norm.edges,
+            n_rel_edges: n_rel,
+            k_types: k.max(1),
+            multi_hot,
+            uniform_weights: norm.weights,
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.edges.n
+    }
+
+    /// Uniform strategy (Eq. 3): constant renormalised binary adjacency.
+    pub fn adjacency_uniform(&self, tape: &mut Tape) -> Var {
+        tape.constant(Tensor::from_vec(self.uniform_weights.clone()))
+    }
+
+    /// Relation-importance term `𝒜_ijᵀ w + b` per relation edge (shared by
+    /// the weighted and time-sensitive strategies). `w: (K, 1)`, `b: (1)`.
+    fn relation_importance(&self, tape: &mut Tape, w: Var, b: Var) -> Var {
+        let hot = tape.constant(self.multi_hot.clone());
+        let imp = tape.linear(hot, w, b); // (E_rel, 1)
+        tape.reshape(imp, [self.n_rel_edges])
+    }
+
+    /// Append unit self-loop weights and renormalise (differentiably):
+    /// `Ã = A + I`, `D̃_ii = Σ_j |Ã_ij|` (clamped), output weight per edge
+    /// `Ã_sd / √(D̃_ss D̃_dd)`.
+    fn renormalize_on_tape(&self, tape: &mut Tape, raw_rel: Var) -> Var {
+        let n = self.n_nodes();
+        let loops = tape.constant(Tensor::ones([n]));
+        let raw_all = tape.concat0(&[raw_rel, loops]);
+        let abs_w = tape.abs(raw_all);
+        let ones_col = tape.constant(Tensor::ones([n, 1]));
+        let deg_col = tape.spmm(&self.edges, abs_w, ones_col); // (N,1): Σ_in |w|
+        let deg = tape.reshape(deg_col, [n]);
+        let deg = tape.clamp_min(deg, DEGREE_EPS);
+        let sqrt_deg = tape.sqrt(deg);
+        let one = tape.constant(Tensor::scalar(1.0));
+        let dinv = tape.div(one, sqrt_deg); // broadcast scalar / (N)
+        let d_src = tape.gather_src(&self.edges, dinv);
+        let d_dst = tape.gather_dst(&self.edges, dinv);
+        let scaled = tape.mul(raw_all, d_src);
+        tape.mul(scaled, d_dst)
+    }
+
+    /// Weighted strategy (Eq. 4): `A_ij = 𝒜_ijᵀ w + b`, shared across all
+    /// time-steps, renormalised.
+    pub fn adjacency_weighted(&self, tape: &mut Tape, w: Var, b: Var) -> Var {
+        let imp = self.relation_importance(tape, w, b);
+        self.renormalize_on_tape(tape, imp)
+    }
+
+    /// Time-sensitive strategy (Eq. 5):
+    /// `A(t)_ij = (X(t)_iᵀ X(t)_j / √n) · (𝒜_ijᵀ w + b)`, unique per
+    /// time-step. `x_t: (N, D)` are that step's node features; the scaled
+    /// dot-product gradient flows back into them.
+    pub fn adjacency_time_sensitive(&self, tape: &mut Tape, w: Var, b: Var, x_t: Var) -> Var {
+        let d = tape.value(x_t).dims()[1];
+        let rel_edges = Edges {
+            n: self.edges.n,
+            pairs: std::sync::Arc::new(self.edges.pairs[..self.n_rel_edges].to_vec()),
+        };
+        let corr = tape.edge_dot(&rel_edges, x_t, (d as f32).sqrt());
+        let imp = self.relation_importance(tape, w, b);
+        let raw = tape.mul(corr, imp);
+        self.renormalize_on_tape(tape, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_relations() -> RelationTensor {
+        let mut r = RelationTensor::new(3, 2);
+        r.connect(0, 1, 0);
+        r.connect(1, 2, 1);
+        r.connect(0, 2, 0);
+        r
+    }
+
+    #[test]
+    fn ctx_layout() {
+        let ctx = StrategyCtx::new(&triangle_relations());
+        assert_eq!(ctx.n_rel_edges, 6, "3 pairs × 2 directions");
+        assert_eq!(ctx.edges.len(), 9, "plus 3 self-loops");
+        assert_eq!(ctx.multi_hot.dims(), &[6, 2]);
+        assert_eq!(ctx.uniform_weights.len(), 9);
+    }
+
+    #[test]
+    fn uniform_matches_static_renormalisation() {
+        let rel = triangle_relations();
+        let ctx = StrategyCtx::new(&rel);
+        let mut tape = Tape::new();
+        let w = ctx.adjacency_uniform(&mut tape);
+        // Triangle with self loops: every node degree 3, all weights 1/3.
+        for &v in tape.value(w).data() {
+            assert!((v - 1.0 / 3.0).abs() < 1e-5, "weight {v}");
+        }
+    }
+
+    #[test]
+    fn weighted_reduces_to_uniform_when_w0_b1() {
+        // With w = 0 and b = 1 every relation edge gets raw weight 1, so the
+        // weighted strategy must reproduce Eq. 3 exactly.
+        let rel = triangle_relations();
+        let ctx = StrategyCtx::new(&rel);
+        let mut tape = Tape::new();
+        let w = tape.leaf(Tensor::zeros([2, 1]));
+        let b = tape.leaf(Tensor::from_vec(vec![1.0]));
+        let adj = ctx.adjacency_weighted(&mut tape, w, b);
+        let expect = Tensor::from_vec(ctx.uniform_weights.clone());
+        assert!(tape.value(adj).allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn weighted_gradients_reach_w_and_b() {
+        let rel = triangle_relations();
+        let ctx = StrategyCtx::new(&rel);
+        let mut tape = Tape::new();
+        let w = tape.leaf(Tensor::new([2, 1], vec![0.5, -0.3]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.2]));
+        let adj = ctx.adjacency_weighted(&mut tape, w, b);
+        let sq = tape.square(adj);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        assert!(tape.grad(w).unwrap().norm() > 0.0, "gradient must reach w");
+        assert!(tape.grad(b).unwrap().norm() > 0.0, "gradient must reach b");
+    }
+
+    #[test]
+    fn weighted_grad_check_via_numeric_diff() {
+        let rel = triangle_relations();
+        let ctx = StrategyCtx::new(&rel);
+        let w0 = Tensor::new([2, 1], vec![0.7, -0.4]);
+        rtgcn_tensor::check_gradient(&w0, 1e-3, 2e-2, move |tape, w| {
+            let b = tape.leaf(Tensor::from_vec(vec![0.3]));
+            let adj = ctx.adjacency_weighted(tape, w, b);
+            let sq = tape.square(adj);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn time_sensitive_gives_distinct_adjacency_per_step() {
+        let rel = triangle_relations();
+        let ctx = StrategyCtx::new(&rel);
+        let mut tape = Tape::new();
+        let w = tape.leaf(Tensor::new([2, 1], vec![0.5, 0.5]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.1]));
+        let x1 = tape.leaf(Tensor::new([3, 2], vec![1., 0., 0., 1., 1., 1.]));
+        let x2 = tape.leaf(Tensor::new([3, 2], vec![0.2, 0.9, 0.4, 0.1, 0.8, 0.8]));
+        let a1 = ctx.adjacency_time_sensitive(&mut tape, w, b, x1);
+        let a2 = ctx.adjacency_time_sensitive(&mut tape, w, b, x2);
+        assert_ne!(tape.value(a1), tape.value(a2), "adjacency must vary with features");
+    }
+
+    #[test]
+    fn time_sensitive_gradient_reaches_features() {
+        let rel = triangle_relations();
+        let ctx = StrategyCtx::new(&rel);
+        let x0 = Tensor::new([3, 2], vec![0.6, -0.2, 0.3, 0.8, -0.5, 0.4]);
+        rtgcn_tensor::check_gradient(&x0, 1e-3, 2e-2, move |tape, x| {
+            let w = tape.leaf(Tensor::new([2, 1], vec![0.5, -0.7]));
+            let b = tape.leaf(Tensor::from_vec(vec![0.2]));
+            let adj = ctx.adjacency_time_sensitive(tape, w, b, x);
+            let sq = tape.square(adj);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_relations_yield_self_loops_only() {
+        let rel = RelationTensor::new(4, 1);
+        let ctx = StrategyCtx::new(&rel);
+        assert_eq!(ctx.n_rel_edges, 0);
+        assert_eq!(ctx.edges.len(), 4);
+        let mut tape = Tape::new();
+        let adj = ctx.adjacency_uniform(&mut tape);
+        for &v in tape.value(adj).data() {
+            assert!((v - 1.0).abs() < 1e-6, "isolated self-loop weight 1, got {v}");
+        }
+    }
+}

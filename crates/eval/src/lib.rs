@@ -1,0 +1,21 @@
+//! # rtgcn-eval
+//!
+//! Evaluation substrate (paper Section V-B):
+//!
+//! - [`metrics`] — MRR and cumulative IRR-k;
+//! - [`backtest`] — the daily top-N buy-sell evaluation protocol, with the
+//!   classification-model fallback (random top-N among predicted-up) and
+//!   oracle/random reference rankers;
+//! - [`wilcoxon`] — paired and one-sample Wilcoxon signed-rank tests (exact
+//!   small-sample distribution; normal approximation with tie correction);
+//! - [`report`] — aligned text tables and JSON result artifacts.
+
+pub mod backtest;
+pub mod metrics;
+pub mod report;
+pub mod wilcoxon;
+
+pub use backtest::{backtest, BacktestOutcome, Oracle, RandomRanker, CLASS_UP};
+pub use metrics::{cumulative_irr, daily_topk_return, rank_of, reciprocal_rank, top_k_indices};
+pub use report::{fmt_opt, fmt_p, write_json, Table};
+pub use wilcoxon::{one_sample, paired, signed_rank_from_diffs, Alternative, WilcoxonResult};

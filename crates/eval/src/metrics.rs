@@ -1,0 +1,107 @@
+//! Ranking metrics (paper Section V-B.3): MRR and cumulative IRR.
+
+/// Indices of the top-`k` entries of `scores`, highest first. Ties broken by
+/// lower index (deterministic).
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Rank (1-based) of item `target` when items are ordered by descending
+/// `scores`.
+pub fn rank_of(scores: &[f32], target: usize) -> usize {
+    let t = scores[target];
+    1 + scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| s > t || (s == t && i < target))
+        .count()
+}
+
+/// Reciprocal rank of the day's true-best stock (highest realised return
+/// ratio) within the predicted ranking — the paper computes MRR "of the
+/// top-1 stock in a ranking list over the testing days".
+pub fn reciprocal_rank(pred_scores: &[f32], true_returns: &[f32]) -> f64 {
+    assert_eq!(pred_scores.len(), true_returns.len(), "length mismatch");
+    assert!(!pred_scores.is_empty(), "empty ranking");
+    let best = top_k_indices(true_returns, 1)[0];
+    1.0 / rank_of(pred_scores, best) as f64
+}
+
+/// One day's portfolio return for the top-`k` strategy: buy the predicted
+/// top-k at today's close, sell tomorrow; equal weighting, so the daily
+/// return is the mean of the selected stocks' return ratios.
+pub fn daily_topk_return(pred_scores: &[f32], true_returns: &[f32], k: usize) -> f64 {
+    assert_eq!(pred_scores.len(), true_returns.len(), "length mismatch");
+    let k = k.min(pred_scores.len()).max(1);
+    let picks = top_k_indices(pred_scores, k);
+    picks.iter().map(|&i| true_returns[i] as f64).sum::<f64>() / k as f64
+}
+
+/// Cumulative IRR series: entry `d` is the sum of daily top-k returns over
+/// days `0..=d` (what Figure 6 plots; the final entry is the Table IV IRR).
+pub fn cumulative_irr(daily_returns: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    daily_returns
+        .iter()
+        .map(|&r| {
+            acc += r;
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_descending() {
+        let s = [0.1, 0.9, 0.5, 0.9];
+        assert_eq!(top_k_indices(&s, 2), vec![1, 3], "ties broken by index");
+        assert_eq!(top_k_indices(&s, 10), vec![1, 3, 2, 0], "k clamps to len");
+    }
+
+    #[test]
+    fn rank_of_counts_strictly_better() {
+        let s = [0.3, 0.8, 0.5];
+        assert_eq!(rank_of(&s, 1), 1);
+        assert_eq!(rank_of(&s, 2), 2);
+        assert_eq!(rank_of(&s, 0), 3);
+    }
+
+    #[test]
+    fn reciprocal_rank_perfect_and_worst() {
+        let truth = [0.01, 0.05, -0.02];
+        // Predicted ranking puts the true best (index 1) first.
+        assert_eq!(reciprocal_rank(&[0.1, 0.9, 0.0], &truth), 1.0);
+        // ...or last.
+        assert!((reciprocal_rank(&[0.9, 0.0, 0.5], &truth) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn daily_return_is_mean_of_picks() {
+        let pred = [0.9, 0.8, 0.1, 0.0];
+        let truth = [0.04, -0.02, 0.10, 0.0];
+        let r = daily_topk_return(&pred, &truth, 2);
+        assert!((r - 0.01).abs() < 1e-9, "mean of 0.04 and −0.02");
+    }
+
+    #[test]
+    fn cumulative_sums() {
+        let c = cumulative_irr(&[0.01, -0.005, 0.02]);
+        assert!((c[2] - 0.025).abs() < 1e-12);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn perfect_ranker_maximises_irr() {
+        let truth = [0.05, -0.01, 0.02, 0.03];
+        let perfect = daily_topk_return(&truth, &truth, 1);
+        let bad = daily_topk_return(&[0.0, 1.0, 0.0, 0.0], &truth, 1);
+        assert!(perfect > bad);
+        assert!((perfect - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Result-table formatting and JSON artifact output, so every harness
+//! prints paper-style rows and leaves a machine-readable trace that
+//! EXPERIMENTS.md numbers can be checked against.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn add_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                if c == 0 {
+                    let _ = write!(out, "{cell:<width$}", width = widths[c]);
+                } else {
+                    let _ = write!(out, "{cell:>width$}", width = widths[c]);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format an optional metric, printing the paper's `-` for `None`.
+pub fn fmt_opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Format a p-value in the paper's scientific style (e.g. `3.05e-4`).
+pub fn fmt_p(p: f64) -> String {
+    if p == 0.0 {
+        "0.0".to_string()
+    } else if p >= 0.001 {
+        format!("{p:.3}")
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+/// Write a serialisable artifact as pretty JSON, creating parent dirs.
+pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["Model", "MRR", "IRR-1"]);
+        t.add_row(["RT-GCN (T)", "0.061", "1.25"]);
+        t.add_row(["RSR_E", "0.055", "0.89"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Model") && lines[0].contains("IRR-1"));
+        assert!(lines[2].starts_with("RT-GCN (T)"));
+        // All data lines same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.add_row(["only-one"]);
+    }
+
+    #[test]
+    fn opt_and_p_formatting() {
+        assert_eq!(fmt_opt(Some(0.12345), 3), "0.123");
+        assert_eq!(fmt_opt(None, 3), "-");
+        assert_eq!(fmt_p(0.0), "0.0");
+        assert_eq!(fmt_p(0.05), "0.050");
+        assert!(fmt_p(3.05e-4).contains("e-4"));
+    }
+
+    #[test]
+    fn json_artifact_roundtrip() {
+        let dir = std::env::temp_dir().join("rtgcn_report_test");
+        let path = dir.join("nested/out.json");
+        write_json(&path, &vec![1.0f64, 2.0]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("1.0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

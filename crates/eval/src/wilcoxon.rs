@@ -1,0 +1,221 @@
+//! Wilcoxon signed-rank tests — the paper's significance machinery
+//! (Section V-C.1): a *paired* test between 15 runs of two models
+//! (Table IV) and a *one-sample* test of 15 runs against a published
+//! baseline number (Table V).
+//!
+//! For small samples without ties the exact null distribution of `W⁺` is
+//! computed by dynamic programming; with ties or n > 25 we fall back to the
+//! normal approximation with tie correction and continuity correction.
+
+/// Alternative hypothesis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Alternative {
+    /// First sample tends to exceed the second (or the constant).
+    Greater,
+    TwoSided,
+}
+
+/// Result of a signed-rank test.
+#[derive(Clone, Copy, Debug)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences.
+    pub w_plus: f64,
+    /// Effective sample size after dropping zero differences.
+    pub n: usize,
+    pub p_value: f64,
+    /// Whether the exact distribution was used.
+    pub exact: bool,
+}
+
+/// Midranks of `|d|` values (average rank for ties).
+fn midranks(abs_d: &[f64]) -> Vec<f64> {
+    let n = abs_d.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| abs_d[a].total_cmp(&abs_d[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && abs_d[order[j + 1]] == abs_d[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Exact P(W⁺ ≥ w) for n untied ranks 1..=n, by DP over the distribution of
+/// the sum of a random subset of ranks.
+fn exact_p_ge(n: usize, w: f64) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    // counts[s] = number of subsets of {1..k} with sum s.
+    let mut counts = vec![0.0f64; max_sum + 1];
+    counts[0] = 1.0;
+    for r in 1..=n {
+        for s in (r..=max_sum).rev() {
+            counts[s] += counts[s - r];
+        }
+    }
+    let total: f64 = 2f64.powi(n as i32);
+    let w_ceil = w.ceil() as usize;
+    let tail: f64 = counts[w_ceil.min(max_sum)..].iter().sum();
+    (tail / total).min(1.0)
+}
+
+/// Normal-approximation P(W⁺ ≥ w) with tie and continuity corrections.
+fn normal_p_ge(n: usize, w: f64, ranks: &[f64]) -> f64 {
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    // Variance with tie correction: n(n+1)(2n+1)/24 − Σ(t³−t)/48 over tie
+    // groups; equivalently Σ r_i² / 4 over the midranks.
+    let var: f64 = ranks.iter().map(|&r| r * r).sum::<f64>() / 4.0;
+    if var <= 0.0 {
+        return if w > mean { 0.0 } else { 1.0 };
+    }
+    let z = (w - mean - 0.5) / var.sqrt();
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Abramowitz–Stegun 7.1.26, |ε| < 1.5e−7).
+fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x_abs);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let e = poly * (-x_abs * x_abs).exp();
+    if sign_neg {
+        2.0 - e
+    } else {
+        e
+    }
+}
+
+/// Signed-rank test on a vector of differences.
+pub fn signed_rank_from_diffs(diffs: &[f64], alt: Alternative) -> WilcoxonResult {
+    let d: Vec<f64> = diffs.iter().copied().filter(|&x| x != 0.0).collect();
+    let n = d.len();
+    if n == 0 {
+        return WilcoxonResult { w_plus: 0.0, n: 0, p_value: 1.0, exact: true };
+    }
+    let abs_d: Vec<f64> = d.iter().map(|x| x.abs()).collect();
+    let ranks = midranks(&abs_d);
+    let w_plus: f64 =
+        d.iter().zip(&ranks).filter(|(&x, _)| x > 0.0).map(|(_, &r)| r).sum();
+    let has_ties = {
+        let mut sorted = abs_d.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted.windows(2).any(|w| w[0] == w[1])
+    };
+    let use_exact = !has_ties && n <= 25;
+    let p_greater =
+        if use_exact { exact_p_ge(n, w_plus) } else { normal_p_ge(n, w_plus, &ranks) };
+    let p_value = match alt {
+        Alternative::Greater => p_greater,
+        Alternative::TwoSided => {
+            let max_sum = n as f64 * (n as f64 + 1.0) / 2.0;
+            let other = max_sum - w_plus; // W⁻
+            let p_less = if use_exact {
+                exact_p_ge(n, other)
+            } else {
+                normal_p_ge(n, other, &ranks)
+            };
+            (2.0 * p_greater.min(p_less)).min(1.0)
+        }
+    };
+    WilcoxonResult { w_plus, n, p_value, exact: use_exact }
+}
+
+/// Paired test: does `a` tend to exceed `b`? (Table IV: 15 paired runs of
+/// RT-GCN (T) vs the strongest baseline.)
+pub fn paired(a: &[f64], b: &[f64], alt: Alternative) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "paired test requires equal lengths");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    signed_rank_from_diffs(&diffs, alt)
+}
+
+/// One-sample test: do the samples tend to exceed `m0`? (Table V: 15 runs vs
+/// a published baseline value.)
+pub fn one_sample(xs: &[f64], m0: f64, alt: Alternative) -> WilcoxonResult {
+    let diffs: Vec<f64> = xs.iter().map(|&x| x - m0).collect();
+    signed_rank_from_diffs(&diffs, alt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_greater_sample_is_significant() {
+        // 15 positive differences, all distinct (exact path).
+        let a: Vec<f64> = (0..15).map(|i| 1.0 + 0.013 * i as f64).collect();
+        let b: Vec<f64> = (0..15).map(|i| 0.5 + 0.007 * i as f64).collect();
+        let r = paired(&a, &b, Alternative::Greater);
+        assert!(r.exact, "15 untied diffs should use the exact distribution");
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0];
+        let r = paired(&a, &a, Alternative::Greater);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn symmetric_noise_is_insignificant() {
+        let a = [1.0, -1.1, 0.9, -0.95, 1.05, -1.0, 0.97, -0.99];
+        let r = signed_rank_from_diffs(&a, Alternative::Greater);
+        assert!(r.p_value > 0.2, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exact_distribution_small_case() {
+        // n = 3: subsets of {1,2,3}; P(W⁺ ≥ 6) = 1/8.
+        assert!((exact_p_ge(3, 6.0) - 0.125).abs() < 1e-12);
+        // P(W⁺ ≥ 0) = 1.
+        assert!((exact_p_ge(3, 0.0) - 1.0).abs() < 1e-12);
+        // P(W⁺ ≥ 5) = 2/8 (sums 5 and 6).
+        assert!((exact_p_ge(3, 5.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_sample_against_constant() {
+        let xs = [0.48, 0.52, 0.55, 0.49, 0.53, 0.56, 0.51, 0.54, 0.57, 0.50, 0.58, 0.52, 0.55, 0.53, 0.56];
+        let r = one_sample(&xs, 0.44, Alternative::Greater);
+        assert!(r.p_value < 0.01, "all above the constant: p = {}", r.p_value);
+        let r2 = one_sample(&xs, 0.60, Alternative::Greater);
+        assert!(r2.p_value > 0.95, "all below the constant: p = {}", r2.p_value);
+    }
+
+    #[test]
+    fn two_sided_at_least_one_sided() {
+        let a = [1.0, 1.2, 0.9, 1.1, 1.3];
+        let b = [0.5, 0.6, 0.4, 0.55, 0.7];
+        let g = paired(&a, &b, Alternative::Greater);
+        let t = paired(&a, &b, Alternative::TwoSided);
+        assert!(t.p_value >= g.p_value);
+    }
+
+    #[test]
+    fn normal_approx_used_with_ties() {
+        let diffs = [1.0, 1.0, 1.0, -1.0, 2.0, 2.0, 3.0, -3.0, 4.0, 5.0];
+        let r = signed_rank_from_diffs(&diffs, Alternative::Greater);
+        assert!(!r.exact, "ties must trigger the normal approximation");
+        assert!(r.p_value > 0.0 && r.p_value < 1.0);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 1e-10);
+    }
+}

@@ -1,0 +1,25 @@
+//! # rtgcn-graph
+//!
+//! The graph substrate of the RT-GCN reproduction:
+//!
+//! - [`relations::RelationTensor`] — the sparse multi-relational tensor
+//!   `𝒜 ∈ {0,1}^{N×N×K}` of paper Section III-A;
+//! - [`norm`] — Kipf–Welling renormalised adjacency (Eqs. 1–2), used to
+//!   precompute the uniform strategy;
+//! - [`rt_graph::RelationTemporalGraph`] — the formal `G_RT` object
+//!   (Section III-B, Figure 2) with structural invariants;
+//! - [`hypergraph::Hypergraph`] — incidence substrate for the STHAN-SR
+//!   baseline.
+//!
+//! Differentiable propagation happens in `rtgcn-core` / `rtgcn-baselines`
+//! through `rtgcn-tensor`'s sparse kernels; this crate owns the *structure*.
+
+pub mod hypergraph;
+pub mod norm;
+pub mod relations;
+pub mod rt_graph;
+
+pub use hypergraph::Hypergraph;
+pub use norm::{renormalize, renormalize_uniform, NormalizedAdjacency, DEGREE_EPS};
+pub use relations::{RelationTensor, RelationType};
+pub use rt_graph::{RelationTemporalGraph, RtEdgeKind, RtNode};

@@ -1,0 +1,138 @@
+//! Kipf–Welling renormalised adjacency (paper Eq. 1–2).
+//!
+//! Given per-edge weights `A_ij`, we form `Ã = A + I_N` and return the
+//! symmetric normalisation `D̃^{-1/2} Ã D̃^{-1/2}` as an edge list + weights.
+//! Degrees use `|Ã_ij|` clamped to ≥ ε so that signed weights from the
+//! learned strategies (Eqs. 4–5) keep propagation bounded (see DESIGN.md §6).
+
+use rtgcn_tensor::Edges;
+
+/// Minimum degree used in the inverse square root (guards divide-by-zero for
+/// isolated nodes and degenerate learned weights).
+pub const DEGREE_EPS: f32 = 1e-6;
+
+/// A static (non-differentiable) normalised adjacency: edges plus one weight
+/// per edge. Used to precompute the uniform strategy once before training.
+#[derive(Clone, Debug)]
+pub struct NormalizedAdjacency {
+    pub edges: Edges,
+    pub weights: Vec<f32>,
+}
+
+/// Build `D̃^{-1/2} (A + I) D̃^{-1/2}` from raw directed edges and weights
+/// over `n` nodes. Input edges must not contain self-loops (they are added
+/// here with weight 1).
+pub fn renormalize(n: usize, raw_edges: &[[usize; 2]], raw_weights: &[f32]) -> NormalizedAdjacency {
+    assert_eq!(raw_edges.len(), raw_weights.len(), "one weight per edge required");
+    let mut pairs = Vec::with_capacity(raw_edges.len() + n);
+    let mut weights = Vec::with_capacity(raw_edges.len() + n);
+    for (&[s, d], &w) in raw_edges.iter().zip(raw_weights) {
+        assert_ne!(s, d, "self-loops are added internally; remove them from input");
+        pairs.push([s, d]);
+        weights.push(w);
+    }
+    // Self-loops of Ã = A + I.
+    for i in 0..n {
+        pairs.push([i, i]);
+        weights.push(1.0);
+    }
+    // D̃_ii = Σ_j |Ã_ij| (accumulated at the destination, symmetric inputs
+    // make src/dst equivalent).
+    let mut degree = vec![0.0f32; n];
+    for (&[_, d], &w) in pairs.iter().zip(&weights) {
+        degree[d] += w.abs();
+    }
+    let dinv: Vec<f32> = degree.iter().map(|&d| 1.0 / d.max(DEGREE_EPS).sqrt()).collect();
+    for (p, w) in pairs.iter().zip(weights.iter_mut()) {
+        *w *= dinv[p[0]] * dinv[p[1]];
+    }
+    NormalizedAdjacency { edges: Edges::new(n, pairs), weights }
+}
+
+/// Uniform-strategy adjacency (Eq. 3): weight 1 on every related pair, then
+/// renormalised. `raw_edges` are the directed relation edges.
+pub fn renormalize_uniform(n: usize, raw_edges: &[[usize; 2]]) -> NormalizedAdjacency {
+    let w = vec![1.0; raw_edges.len()];
+    renormalize(n, raw_edges, &w)
+}
+
+impl NormalizedAdjacency {
+    /// Materialise as a dense matrix (tests / small-n introspection only).
+    pub fn to_dense(&self) -> rtgcn_tensor::Tensor {
+        let n = self.edges.n;
+        let mut m = rtgcn_tensor::Tensor::zeros([n, n]);
+        for (p, &w) in self.edges.pairs.iter().zip(&self.weights) {
+            *m.at_mut(&[p[1], p[0]]) += w;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_node_graph_matches_hand_computation() {
+        // Edge 0-1 both directions, weight 1. Ã = [[1,1],[1,1]], D̃ = diag(2,2),
+        // normalised: all entries 1/2.
+        let adj = renormalize_uniform(2, &[[0, 1], [1, 0]]);
+        let dense = adj.to_dense();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((dense.at(&[i, j]) - 0.5).abs() < 1e-6, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_gets_unit_self_loop() {
+        let adj = renormalize_uniform(3, &[[0, 1], [1, 0]]);
+        let dense = adj.to_dense();
+        // Node 2 is isolated: degree 1 from its self-loop → entry 1.
+        assert!((dense.at(&[2, 2]) - 1.0).abs() < 1e-6);
+        assert_eq!(dense.at(&[2, 0]), 0.0);
+    }
+
+    #[test]
+    fn row_sums_bounded_by_one_for_uniform() {
+        // For non-negative weights the renormalised matrix is right-stochastic-ish:
+        // each row sums to ≤ 1 (equality when the graph is regular).
+        let edges = vec![[0, 1], [1, 0], [1, 2], [2, 1], [0, 2], [2, 0]];
+        let adj = renormalize_uniform(3, &edges);
+        let dense = adj.to_dense();
+        for i in 0..3 {
+            let s: f32 = (0..3).map(|j| dense.at(&[i, j])).sum();
+            assert!(s <= 1.0 + 1e-5, "row {i} sums to {s}");
+            assert!(s > 0.5, "row {i} unexpectedly small: {s}");
+        }
+    }
+
+    #[test]
+    fn signed_weights_use_absolute_degree() {
+        let adj = renormalize(2, &[[0, 1], [1, 0]], &[-3.0, -3.0]);
+        let dense = adj.to_dense();
+        // degree = |−3| + 1 = 4 at each node → off-diagonal = −3/4.
+        assert!((dense.at(&[0, 1]) + 0.75).abs() < 1e-6);
+        assert!((dense.at(&[0, 0]) - 0.25).abs() < 1e-6);
+        assert!(!dense.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn input_self_loops_rejected() {
+        let _ = renormalize_uniform(2, &[[0, 0]]);
+    }
+
+    #[test]
+    fn symmetric_input_gives_symmetric_output() {
+        let edges = vec![[0, 1], [1, 0], [1, 2], [2, 1]];
+        let adj = renormalize_uniform(3, &edges);
+        let d = adj.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((d.at(&[i, j]) - d.at(&[j, i])).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The relation-temporal graph `G_RT = (V, E)` (paper Sections III-B, IV-A,
+//! Figure 2).
+//!
+//! `V = {v_ti | t = 1..T, i = 1..N}`; `E = E_S ∪ E_T` where the *relational*
+//! edges `E_S` connect related stocks within one time-step and the *temporal*
+//! edges `E_T` connect the same stock across consecutive time-steps. The
+//! "cylinder" picture: each relational graph `G_R` is one plane, planes are
+//! glued by temporal edges.
+//!
+//! RT-GCN factorises its computation (relational conv per plane, temporal
+//! conv along the cylinder axis) so it never materialises `G_RT`; this module
+//! exists to make the paper's object concrete, validate structural invariants
+//! (fixed node/edge counts, no future-leaking temporal edges) and support the
+//! case-study introspection.
+
+use crate::relations::RelationTensor;
+
+/// Node of `G_RT`: stock `stock` at time-step `t`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RtNode {
+    pub t: usize,
+    pub stock: usize,
+}
+
+/// Edge kind in `G_RT`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtEdgeKind {
+    /// Intra-time-step relational edge (solid blue in Figure 2).
+    Relational,
+    /// Inter-time-step edge connecting the same stock (solid black).
+    Temporal,
+}
+
+/// The full relation-temporal graph over `T` time-steps and `N` stocks.
+#[derive(Clone, Debug)]
+pub struct RelationTemporalGraph {
+    pub t_steps: usize,
+    pub n_stocks: usize,
+    /// Undirected relational pairs shared by every plane.
+    relational_pairs: Vec<(usize, usize)>,
+}
+
+impl RelationTemporalGraph {
+    /// Construct from a relation tensor (the planes share one edge set — the
+    /// paper fixes nodes and edges for the whole train/test run).
+    pub fn new(t_steps: usize, relations: &RelationTensor) -> Self {
+        assert!(t_steps >= 1, "need at least one time-step");
+        let relational_pairs = relations.pairs().map(|(i, j, _)| (i, j)).collect();
+        RelationTemporalGraph { t_steps, n_stocks: relations.num_stocks(), relational_pairs }
+    }
+
+    /// `|V| = T · N`.
+    pub fn num_nodes(&self) -> usize {
+        self.t_steps * self.n_stocks
+    }
+
+    /// `|E_S|` — one undirected relational edge per related pair per plane.
+    pub fn num_relational_edges(&self) -> usize {
+        self.relational_pairs.len() * self.t_steps
+    }
+
+    /// `|E_T|` — one temporal edge per stock per consecutive step pair.
+    pub fn num_temporal_edges(&self) -> usize {
+        self.n_stocks * (self.t_steps - 1)
+    }
+
+    /// Total undirected edge count `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.num_relational_edges() + self.num_temporal_edges()
+    }
+
+    /// Whether two nodes are adjacent, and via which edge kind.
+    pub fn edge_between(&self, a: RtNode, b: RtNode) -> Option<RtEdgeKind> {
+        if a.t == b.t && a.stock != b.stock {
+            let key = (a.stock.min(b.stock), a.stock.max(b.stock));
+            if self.relational_pairs.iter().any(|&(i, j)| (i, j) == key) {
+                return Some(RtEdgeKind::Relational);
+            }
+            None
+        } else if a.stock == b.stock && a.t.abs_diff(b.t) == 1 {
+            Some(RtEdgeKind::Temporal)
+        } else {
+            None
+        }
+    }
+
+    /// Neighbours of a node (relational within the plane, temporal to the
+    /// previous/next plane).
+    pub fn neighbors(&self, v: RtNode) -> Vec<(RtNode, RtEdgeKind)> {
+        assert!(v.t < self.t_steps && v.stock < self.n_stocks, "node out of range");
+        let mut out = Vec::new();
+        for &(i, j) in &self.relational_pairs {
+            if i == v.stock {
+                out.push((RtNode { t: v.t, stock: j }, RtEdgeKind::Relational));
+            } else if j == v.stock {
+                out.push((RtNode { t: v.t, stock: i }, RtEdgeKind::Relational));
+            }
+        }
+        if v.t > 0 {
+            out.push((RtNode { t: v.t - 1, stock: v.stock }, RtEdgeKind::Temporal));
+        }
+        if v.t + 1 < self.t_steps {
+            out.push((RtNode { t: v.t + 1, stock: v.stock }, RtEdgeKind::Temporal));
+        }
+        out
+    }
+
+    /// Structural invariant check: every temporal edge links consecutive
+    /// steps of one stock; every relational edge stays inside one plane.
+    /// Returns `Err` with a description on violation (used by property tests).
+    pub fn validate(&self) -> Result<(), String> {
+        for &(i, j) in &self.relational_pairs {
+            if i >= self.n_stocks || j >= self.n_stocks {
+                return Err(format!("relational pair ({i},{j}) out of range"));
+            }
+            if i == j {
+                return Err(format!("self relational pair ({i},{j})"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> RelationTemporalGraph {
+        let mut r = RelationTensor::new(3, 1);
+        r.connect(0, 1, 0);
+        r.connect(1, 2, 0);
+        RelationTemporalGraph::new(4, &r)
+    }
+
+    #[test]
+    fn counts_match_formulae() {
+        let g = small_graph();
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_relational_edges(), 2 * 4);
+        assert_eq!(g.num_temporal_edges(), 3 * 3);
+        assert_eq!(g.num_edges(), 8 + 9);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_kinds() {
+        let g = small_graph();
+        let a = RtNode { t: 1, stock: 0 };
+        assert_eq!(
+            g.edge_between(a, RtNode { t: 1, stock: 1 }),
+            Some(RtEdgeKind::Relational)
+        );
+        assert_eq!(g.edge_between(a, RtNode { t: 1, stock: 2 }), None, "0 and 2 unrelated");
+        assert_eq!(
+            g.edge_between(a, RtNode { t: 2, stock: 0 }),
+            Some(RtEdgeKind::Temporal)
+        );
+        assert_eq!(g.edge_between(a, RtNode { t: 3, stock: 0 }), None, "non-consecutive");
+        assert_eq!(g.edge_between(a, RtNode { t: 2, stock: 1 }), None, "diagonal edges don't exist");
+    }
+
+    #[test]
+    fn neighbor_enumeration() {
+        let g = small_graph();
+        let nbrs = g.neighbors(RtNode { t: 0, stock: 1 });
+        // Relational to 0 and 2 in plane 0, temporal to t=1 only (t=0 has no past).
+        assert_eq!(nbrs.len(), 3);
+        assert!(nbrs.contains(&(RtNode { t: 0, stock: 0 }, RtEdgeKind::Relational)));
+        assert!(nbrs.contains(&(RtNode { t: 0, stock: 2 }, RtEdgeKind::Relational)));
+        assert!(nbrs.contains(&(RtNode { t: 1, stock: 1 }, RtEdgeKind::Temporal)));
+    }
+
+    #[test]
+    fn single_step_graph_has_no_temporal_edges() {
+        let mut r = RelationTensor::new(2, 1);
+        r.connect(0, 1, 0);
+        let g = RelationTemporalGraph::new(1, &r);
+        assert_eq!(g.num_temporal_edges(), 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

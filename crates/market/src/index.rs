@@ -1,0 +1,75 @@
+//! Synthetic market indices — stand-ins for DJI, S&P 500 and CSI 300 in the
+//! Figure 6 comparison. Real market indices are capitalisation-weighted
+//! averages over a blue-chip subset; we mirror that: the index tracks the
+//! price-weighted top slice of the simulated universe.
+
+use crate::dataset::StockDataset;
+
+/// Cumulative return-ratio series of a synthetic index over a range of days,
+/// aligned with the backtester's convention: entry `d` is the sum of daily
+/// index returns from `days[0]` through `days[d]` (what Figure 6 plots).
+pub fn index_cumulative_returns(ds: &StockDataset, days: &[usize]) -> Vec<f32> {
+    let weights = index_weights(ds);
+    let mut out = Vec::with_capacity(days.len());
+    let mut acc = 0.0f32;
+    for &d in days {
+        let mut idx_ret = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            idx_ret += w * ds.realized_return(d, i);
+        }
+        acc += idx_ret;
+        out.push(acc);
+    }
+    out
+}
+
+/// Price-weighted constituent weights over the top ~30 % of the universe by
+/// price at the start of the test period (price stands in for market cap —
+/// the simulator has no share counts).
+fn index_weights(ds: &StockDataset) -> Vec<f32> {
+    let n = ds.n_stocks();
+    let anchor_day = ds.spec.test_start().saturating_sub(1);
+    let mut priced: Vec<(usize, f32)> =
+        (0..n).map(|i| (i, ds.sim.price(anchor_day, i))).collect();
+    priced.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let members = (n * 3 / 10).max(5).min(n);
+    let total: f32 = priced[..members].iter().map(|&(_, p)| p).sum();
+    let mut weights = vec![0.0f32; n];
+    for &(i, p) in &priced[..members] {
+        weights[i] = p / total;
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Market, Scale, UniverseSpec};
+
+    #[test]
+    fn index_tracks_crash_and_recovery() {
+        let ds = StockDataset::generate(UniverseSpec::of(Market::Csi, Scale::Small), 3);
+        let days = ds.test_end_days();
+        let series = index_cumulative_returns(&ds, &days);
+        assert_eq!(series.len(), days.len());
+        // The shock lands at test start: cumulative return dips early...
+        let early_min = series[..crate::synth::CRASH_LEN.min(series.len())]
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min);
+        assert!(early_min < 0.0, "index should dip during the crash, min {early_min}");
+        // ...and recovers off the bottom afterwards.
+        let overall_min = series.iter().copied().fold(f32::INFINITY, f32::min);
+        let last = *series.last().unwrap();
+        assert!(last > overall_min, "index should come off the bottom");
+    }
+
+    #[test]
+    fn weights_sum_to_one_over_members() {
+        let ds = StockDataset::generate(UniverseSpec::of(Market::Csi, Scale::Small), 4);
+        let w = index_weights(&ds);
+        let sum: f32 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "weights sum {sum}");
+        assert!(w.iter().filter(|&&x| x > 0.0).count() >= 5);
+    }
+}

@@ -1,0 +1,291 @@
+//! Plain-text interchange for real market data.
+//!
+//! The synthetic generator stands in for Yahoo-Finance/Wikidata (DESIGN.md
+//! §4), but a downstream user with genuine data can load it here and run
+//! every model/harness unchanged:
+//!
+//! - **Prices CSV**: header `date,TICKER1,TICKER2,...`, one row per trading
+//!   day (chronological), one close per stock. The `date` column is carried
+//!   through but not interpreted.
+//! - **Relations CSV**: rows `stock_i,stock_j,type_k` (0-based indices into
+//!   the price header order and the relation-type space).
+
+use crate::dataset::StockDataset;
+use crate::relations::{IndustryRelations, WikiRelations};
+use crate::synth::{MarketSim, SynthConfig};
+use crate::universe::{Market, UniverseSpec};
+use rtgcn_graph::RelationTensor;
+use rtgcn_tensor::Tensor;
+use std::path::Path;
+
+/// Parsed price table.
+#[derive(Clone, Debug)]
+pub struct PriceTable {
+    pub tickers: Vec<String>,
+    pub dates: Vec<String>,
+    /// `(days, N)` closing prices.
+    pub prices: Tensor,
+}
+
+fn io_err(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Parse a prices CSV from a string (see module docs for the format).
+pub fn parse_prices_csv(body: &str) -> std::io::Result<PriceTable> {
+    let mut lines = body.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| io_err("empty prices CSV".into()))?;
+    let mut cols = header.split(',').map(str::trim);
+    let first = cols.next().unwrap_or_default();
+    if !first.eq_ignore_ascii_case("date") {
+        return Err(io_err(format!("first header column must be 'date', got {first:?}")));
+    }
+    let tickers: Vec<String> = cols.map(String::from).collect();
+    if tickers.is_empty() {
+        return Err(io_err("prices CSV has no stock columns".into()));
+    }
+    let n = tickers.len();
+    let mut dates = Vec::new();
+    let mut data: Vec<f32> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let mut fields = line.split(',').map(str::trim);
+        let date = fields.next().unwrap_or_default().to_string();
+        let row: Vec<f32> = fields
+            .map(|f| {
+                f.parse::<f32>()
+                    .map_err(|e| io_err(format!("row {} ({date}): bad price {f:?}: {e}", lineno + 2)))
+            })
+            .collect::<Result<_, _>>()?;
+        if row.len() != n {
+            return Err(io_err(format!(
+                "row {} has {} prices, expected {n}",
+                lineno + 2,
+                row.len()
+            )));
+        }
+        if row.iter().any(|&p| !(p > 0.0) || !p.is_finite()) {
+            return Err(io_err(format!("row {} contains non-positive price", lineno + 2)));
+        }
+        dates.push(date);
+        data.extend(row);
+    }
+    if dates.len() < 2 {
+        return Err(io_err("need at least two days of prices".into()));
+    }
+    Ok(PriceTable { tickers, dates: dates.clone(), prices: Tensor::new([dates.len(), n], data) })
+}
+
+/// Parse a relations CSV (`i,j,k` rows) into a [`RelationTensor`].
+pub fn parse_relations_csv(body: &str, n_stocks: usize, k_types: usize) -> std::io::Result<RelationTensor> {
+    let mut rel = RelationTensor::new(n_stocks, k_types);
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(io_err(format!("relations row {}: expected i,j,k", lineno + 1)));
+        }
+        let parse = |s: &str, what: &str| {
+            s.parse::<usize>()
+                .map_err(|e| io_err(format!("relations row {}: bad {what} {s:?}: {e}", lineno + 1)))
+        };
+        let (i, j, k) = (parse(parts[0], "i")?, parse(parts[1], "j")?, parse(parts[2], "k")?);
+        if i >= n_stocks || j >= n_stocks || i == j {
+            return Err(io_err(format!("relations row {}: invalid pair ({i},{j})", lineno + 1)));
+        }
+        if k >= k_types {
+            return Err(io_err(format!("relations row {}: type {k} >= K={k_types}", lineno + 1)));
+        }
+        rel.connect(i, j, k);
+    }
+    Ok(rel)
+}
+
+/// Serialise a price tensor back to the CSV format (round-trip with
+/// [`parse_prices_csv`]).
+pub fn prices_to_csv(table: &PriceTable) -> String {
+    let mut out = String::from("date");
+    for t in &table.tickers {
+        out.push(',');
+        out.push_str(t);
+    }
+    out.push('\n');
+    let n = table.tickers.len();
+    for (d, date) in table.dates.iter().enumerate() {
+        out.push_str(date);
+        for i in 0..n {
+            out.push_str(&format!(",{}", table.prices.at(&[d, i])));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Build a [`StockDataset`] from externally supplied prices and relations.
+///
+/// `train_days`/`test_days` define the chronological split after the 20-day
+/// feature warm-up; `warmup + train_days + test_days + 1` must not exceed
+/// the number of price rows. `industry_of` may be empty if unknown (the
+/// STHAN-SR baseline then builds its hypergraph from wiki pairs only).
+pub fn dataset_from_parts(
+    market: Market,
+    prices: Tensor,
+    wiki: RelationTensor,
+    industry: RelationTensor,
+    industry_of: Vec<usize>,
+    train_days: usize,
+    test_days: usize,
+) -> std::io::Result<StockDataset> {
+    let n = prices.dims()[1];
+    let needed = crate::features::WARMUP_DAYS + train_days + test_days + 1;
+    if prices.dims()[0] < needed {
+        return Err(io_err(format!(
+            "need {} price rows (warmup+train+test+1), got {}",
+            needed,
+            prices.dims()[0]
+        )));
+    }
+    if wiki.num_stocks() != n || industry.num_stocks() != n {
+        return Err(io_err("relation tensors must cover the same stock universe".into()));
+    }
+    let spec = UniverseSpec {
+        market,
+        stocks: n,
+        train_days,
+        test_days,
+        industry_types: industry.num_types(),
+        industry_ratio: industry.relation_ratio(),
+        wiki_types: wiki.num_types(),
+        wiki_ratio: wiki.relation_ratio(),
+        sectors: industry_of.iter().copied().max().map_or(1, |m| m + 1),
+    };
+    let days = prices.dims()[0];
+    // Returns derived from the supplied prices; config records provenance.
+    let mut returns = Tensor::zeros([days, n]);
+    for d in 1..days {
+        for i in 0..n {
+            let p0 = prices.at(&[d - 1, i]).max(1e-6);
+            returns.data_mut()[d * n + i] = (prices.at(&[d, i]) / p0).ln();
+        }
+    }
+    let industry_of =
+        if industry_of.len() == n { industry_of } else { vec![0; n] };
+    let sim = MarketSim {
+        prices,
+        returns,
+        config: SynthConfig::new(n, days, 0, industry_of.clone()),
+    };
+    Ok(StockDataset {
+        spec,
+        sim,
+        industry: IndustryRelations { industry_of, relations: industry },
+        wiki: WikiRelations { relations: wiki, edges: Vec::new() },
+    })
+}
+
+/// Convenience: load a dataset from price + relation CSV files on disk.
+#[allow(clippy::too_many_arguments)]
+pub fn load_dataset(
+    market: Market,
+    prices_path: impl AsRef<Path>,
+    wiki_path: Option<&Path>,
+    industry_path: Option<&Path>,
+    wiki_types: usize,
+    industry_types: usize,
+    train_days: usize,
+    test_days: usize,
+) -> std::io::Result<StockDataset> {
+    let table = parse_prices_csv(&std::fs::read_to_string(prices_path)?)?;
+    let n = table.tickers.len();
+    let wiki = match wiki_path {
+        Some(p) => parse_relations_csv(&std::fs::read_to_string(p)?, n, wiki_types)?,
+        None => RelationTensor::new(n, 0),
+    };
+    let industry = match industry_path {
+        Some(p) => parse_relations_csv(&std::fs::read_to_string(p)?, n, industry_types)?,
+        None => RelationTensor::new(n, 0),
+    };
+    dataset_from_parts(market, table.prices, wiki, industry, Vec::new(), train_days, test_days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_csv(days: usize) -> String {
+        let mut s = String::from("date,AAA,BBB\n");
+        for d in 0..days {
+            s.push_str(&format!("2020-01-{:02},{},{}\n", d + 1, 100.0 + d as f32, 50.0 + 2.0 * d as f32));
+        }
+        s
+    }
+
+    #[test]
+    fn prices_roundtrip() {
+        let body = toy_csv(5);
+        let table = parse_prices_csv(&body).unwrap();
+        assert_eq!(table.tickers, vec!["AAA", "BBB"]);
+        assert_eq!(table.prices.dims(), &[5, 2]);
+        assert_eq!(table.prices.at(&[3, 1]), 56.0);
+        let back = prices_to_csv(&table);
+        let table2 = parse_prices_csv(&back).unwrap();
+        assert_eq!(table.prices, table2.prices);
+    }
+
+    #[test]
+    fn prices_rejects_malformed() {
+        assert!(parse_prices_csv("").is_err());
+        assert!(parse_prices_csv("notdate,A\n1,2\n").is_err());
+        assert!(parse_prices_csv("date,A\n2020-01-01,abc\n2020-01-02,1\n").is_err());
+        assert!(parse_prices_csv("date,A,B\n2020-01-01,1\n2020-01-02,1,2\n").is_err());
+        assert!(parse_prices_csv("date,A\n2020-01-01,-5\n2020-01-02,1\n").is_err());
+        assert!(parse_prices_csv("date,A\n2020-01-01,1\n").is_err(), "one day insufficient");
+    }
+
+    #[test]
+    fn relations_csv_parses_and_validates() {
+        let rel = parse_relations_csv("0,1,0\n# comment\n1,2,1\n", 3, 2).unwrap();
+        assert!(rel.related(0, 1) && rel.related(1, 2));
+        assert_eq!(rel.multi_hot_f32(1, 2), vec![0.0, 1.0]);
+        assert!(parse_relations_csv("0,0,0\n", 2, 1).is_err(), "self pair");
+        assert!(parse_relations_csv("0,5,0\n", 2, 1).is_err(), "stock oob");
+        assert!(parse_relations_csv("0,1,7\n", 2, 1).is_err(), "type oob");
+        assert!(parse_relations_csv("0,1\n", 2, 1).is_err(), "arity");
+    }
+
+    #[test]
+    fn dataset_from_external_prices_runs_models() {
+        use rtgcn_graph::RelationTensor;
+        // 20 warmup + 30 train + 5 test + 1 = 56 days.
+        let days = 56;
+        let n = 4;
+        let mut prices = Tensor::zeros([days, n]);
+        for d in 0..days {
+            for i in 0..n {
+                let base = 50.0 + 25.0 * i as f32;
+                prices.data_mut()[d * n + i] =
+                    base * (1.0 + 0.01 * ((d * (i + 1)) as f32).sin());
+            }
+        }
+        let mut wiki = RelationTensor::new(n, 1);
+        wiki.connect(0, 1, 0);
+        let mut ind = RelationTensor::new(n, 2);
+        ind.connect(2, 3, 1);
+        let ds = dataset_from_parts(Market::Nasdaq, prices, wiki, ind, vec![0, 0, 1, 1], 30, 5)
+            .unwrap();
+        assert_eq!(ds.n_stocks(), 4);
+        assert_eq!(ds.test_end_days().len(), 5);
+        let s = ds.sample(ds.test_end_days()[0], 8, 4);
+        assert_eq!(s.x.dims(), &[8, 4, 4]);
+        assert!(!s.x.has_non_finite());
+    }
+
+    #[test]
+    fn dataset_from_parts_rejects_short_series() {
+        let prices = Tensor::ones([30, 2]);
+        let r = RelationTensor::new(2, 0);
+        assert!(dataset_from_parts(Market::Csi, prices, r.clone(), r, vec![], 30, 5).is_err());
+    }
+}

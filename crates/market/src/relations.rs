@@ -1,0 +1,315 @@
+//! Relation generators — the substitution for the paper's Wikidata company
+//! relations and NASDAQ sector-industry lists (DESIGN.md §4.2).
+//!
+//! Both generators are calibrated against Table III: they hit a target
+//! *relation ratio* (fraction of stock pairs with ≥ 1 relation) and type
+//! count per market, with industry groups following a skewed (Zipf-like)
+//! size distribution as real sector data does.
+
+use crate::universe::UniverseSpec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rtgcn_graph::RelationTensor;
+
+/// Industry assignment: one industry id per stock plus the derived relation
+/// tensor (one relation type per industry, as in the paper's
+/// `(Facebook; Technology Services…; Twitter)` triples).
+#[derive(Clone, Debug)]
+pub struct IndustryRelations {
+    pub industry_of: Vec<usize>,
+    pub relations: RelationTensor,
+}
+
+/// Zipf-like group sizes: size of group `g` ∝ `1 / (g+1)^s`, scaled so sizes
+/// sum to `n` and every group has ≥ 1 member.
+fn zipf_sizes(n: usize, groups: usize, s: f64) -> Vec<usize> {
+    assert!(groups >= 1 && groups <= n, "need 1 ≤ groups ≤ n");
+    let weights: Vec<f64> = (0..groups).map(|g| 1.0 / ((g + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> =
+        weights.iter().map(|w| ((w / total) * n as f64).floor() as usize).collect();
+    for sz in sizes.iter_mut() {
+        if *sz == 0 {
+            *sz = 1;
+        }
+    }
+    // Adjust largest groups to hit the exact total.
+    let mut diff = n as i64 - sizes.iter().sum::<usize>() as i64;
+    let mut g = 0;
+    while diff != 0 {
+        if diff > 0 {
+            sizes[g % groups] += 1;
+            diff -= 1;
+        } else if sizes[g % groups] > 1 {
+            sizes[g % groups] -= 1;
+            diff += 1;
+        }
+        g += 1;
+    }
+    sizes
+}
+
+/// Relation ratio implied by a group-size vector (one industry per stock).
+fn ratio_of_sizes(n: usize, sizes: &[usize]) -> f64 {
+    let pairs: usize = sizes.iter().map(|&m| m * (m - 1) / 2).sum();
+    let total = n * (n - 1) / 2;
+    pairs as f64 / total.max(1) as f64
+}
+
+/// Generate industry relations hitting `spec.industry_ratio` within ±20 %
+/// (relative) by binary-searching the Zipf skew exponent.
+pub fn gen_industry_relations(spec: &UniverseSpec, seed: u64) -> IndustryRelations {
+    let n = spec.stocks;
+    // With g equal groups of size m = n/g the ratio is ≈ (m−1)/(n−1), the
+    // minimum achievable for that group count; raise g beyond the spec's
+    // nominal type count when even equal groups would overshoot the target
+    // (happens at reduced scales, where type counts shrink faster than the
+    // pair ratio).
+    let max_equal_size = 1.0 + spec.industry_ratio * (n.saturating_sub(1)) as f64;
+    let min_groups = (n as f64 / max_equal_size).ceil() as usize;
+    let groups = spec.industry_types.max(min_groups).min(n / 2).max(1);
+    // Skewer size distributions concentrate more stocks in few industries,
+    // raising the pair ratio; binary-search s ∈ [0, 3].
+    let (mut lo, mut hi) = (0.0f64, 3.0f64);
+    let mut best = zipf_sizes(n, groups, 1.0);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        let sizes = zipf_sizes(n, groups, mid);
+        let r = ratio_of_sizes(n, &sizes);
+        best = sizes;
+        if r < spec.industry_ratio {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Greedy refinement: move one stock at a time between the largest and
+    // smallest groups while it brings the ratio closer to target (the Zipf
+    // family is too coarse for small universes).
+    for _ in 0..n {
+        let cur = ratio_of_sizes(n, &best);
+        let mut trial = best.clone();
+        let hi_g = (0..groups).max_by_key(|&g| trial[g]).expect("groups >= 1");
+        if cur > spec.industry_ratio {
+            // Shrink the dominant group.
+            let lo_g = (0..groups).min_by_key(|&g| trial[g]).expect("groups >= 1");
+            if trial[hi_g] <= trial[lo_g] + 1 {
+                break;
+            }
+            trial[hi_g] -= 1;
+            trial[lo_g] += 1;
+        } else {
+            // Grow the dominant group from the smallest shrinkable one.
+            let Some(lo_g) =
+                (0..groups).filter(|&g| trial[g] > 1 && g != hi_g).min_by_key(|&g| trial[g])
+            else {
+                break;
+            };
+            trial[hi_g] += 1;
+            trial[lo_g] -= 1;
+        }
+        let next = ratio_of_sizes(n, &trial);
+        if (next - spec.industry_ratio).abs() < (cur - spec.industry_ratio).abs() {
+            best = trial;
+        } else {
+            break;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1d05_7ee1);
+    let mut stock_ids: Vec<usize> = (0..n).collect();
+    stock_ids.shuffle(&mut rng);
+    let mut industry_of = vec![0usize; n];
+    let mut relations = RelationTensor::new(n, groups);
+    let mut cursor = 0;
+    for (g, &sz) in best.iter().enumerate() {
+        let members = &stock_ids[cursor..cursor + sz];
+        for (a_idx, &a) in members.iter().enumerate() {
+            industry_of[a] = g;
+            for &b in &members[a_idx + 1..] {
+                relations.connect(a, b, g);
+            }
+        }
+        cursor += sz;
+    }
+    IndustryRelations { industry_of, relations }
+}
+
+/// One wiki-style relation edge, carrying the simulator's ground-truth
+/// lead-lag spillover parameters (invisible to models; used by the price
+/// generator and the Figure 8 case study).
+#[derive(Clone, Debug)]
+pub struct WikiEdge {
+    /// The stock whose move leads.
+    pub leader: usize,
+    /// The stock that follows one day later.
+    pub follower: usize,
+    /// Relation types on this edge (indices into the wiki type space).
+    pub types: Vec<usize>,
+    /// Spillover coefficient γ when the edge is active.
+    pub strength: f32,
+    /// Activity cycle: period in days.
+    pub period: usize,
+    /// Phase offset of the activity window.
+    pub phase: usize,
+    /// Fraction of the period the edge is active ("product launch windows",
+    /// paper Figure 1(b)).
+    pub duty: f32,
+}
+
+impl WikiEdge {
+    /// Whether the time-varying spillover component is switched on at `day`.
+    pub fn active(&self, day: usize) -> bool {
+        (((day + self.phase) % self.period) as f32) < self.duty * self.period as f32
+    }
+}
+
+/// Wiki-relation generation output.
+#[derive(Clone, Debug, Default)]
+pub struct WikiRelations {
+    pub relations: RelationTensor,
+    pub edges: Vec<WikiEdge>,
+}
+
+/// Generate sparse wiki-style typed relations hitting `spec.wiki_ratio`.
+/// Pairs are drawn uniformly (wiki relations such as supplier-customer and
+/// owned-by cut across industries); ~30 % of pairs receive a second type,
+/// matching the paper's multi-hot GOOGLE/ALPHABET example.
+pub fn gen_wiki_relations(spec: &UniverseSpec, seed: u64) -> WikiRelations {
+    let n = spec.stocks;
+    if spec.wiki_types == 0 || spec.wiki_ratio <= 0.0 {
+        return WikiRelations { relations: RelationTensor::new(n, 0), edges: Vec::new() };
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x771c_1e77);
+    let total_pairs = n * (n - 1) / 2;
+    let target = ((total_pairs as f64) * spec.wiki_ratio).round().max(1.0) as usize;
+    let mut relations = RelationTensor::new(n, spec.wiki_types);
+    let mut edges = Vec::with_capacity(target);
+    let mut placed = 0;
+    let mut guard = 0;
+    while placed < target && guard < target * 50 {
+        guard += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j || relations.related(i, j) {
+            continue;
+        }
+        let t1 = rng.gen_range(0..spec.wiki_types);
+        relations.connect(i, j, t1);
+        let mut types = vec![t1];
+        if spec.wiki_types > 1 && rng.gen::<f32>() < 0.3 {
+            let t2 = rng.gen_range(0..spec.wiki_types);
+            if t2 != t1 {
+                relations.connect(i, j, t2);
+                types.push(t2);
+            }
+        }
+        let (leader, follower) = if rng.gen::<bool>() { (i, j) } else { (j, i) };
+        edges.push(WikiEdge {
+            leader,
+            follower,
+            types,
+            strength: rng.gen_range(0.25..0.55),
+            period: rng.gen_range(40..90),
+            phase: rng.gen_range(0..90),
+            duty: rng.gen_range(0.3..0.6),
+        });
+        placed += 1;
+    }
+    WikiRelations { relations, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Market, Scale};
+
+    #[test]
+    fn industry_ratio_calibrated() {
+        for market in Market::ALL {
+            let spec = UniverseSpec::of(market, Scale::Small);
+            let ind = gen_industry_relations(&spec, 1);
+            let r = ind.relations.relation_ratio();
+            assert!(
+                (r - spec.industry_ratio).abs() / spec.industry_ratio < 0.35,
+                "{}: generated ratio {r:.4} vs target {:.4}",
+                market.name(),
+                spec.industry_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn industry_same_group_related() {
+        let spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        let ind = gen_industry_relations(&spec, 3);
+        let n = spec.stocks;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same = ind.industry_of[i] == ind.industry_of[j];
+                assert_eq!(ind.relations.related(i, j), same, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn wiki_ratio_calibrated_and_sparse() {
+        let spec = UniverseSpec::of(Market::Nasdaq, Scale::Small);
+        let wiki = gen_wiki_relations(&spec, 9);
+        let r = wiki.relations.relation_ratio();
+        assert!(r > 0.0 && (r - spec.wiki_ratio).abs() / spec.wiki_ratio < 0.5, "ratio {r}");
+        assert!(r < 0.02, "wiki relations must be sparse");
+        assert_eq!(wiki.edges.len(), wiki.relations.num_related_pairs());
+    }
+
+    #[test]
+    fn csi_has_no_wiki_edges() {
+        let spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        let wiki = gen_wiki_relations(&spec, 9);
+        assert!(wiki.edges.is_empty());
+        assert_eq!(wiki.relations.num_types(), 0);
+    }
+
+    #[test]
+    fn wiki_edges_deterministic_per_seed() {
+        let spec = UniverseSpec::of(Market::Nyse, Scale::Small);
+        let a = gen_wiki_relations(&spec, 42);
+        let b = gen_wiki_relations(&spec, 42);
+        assert_eq!(a.edges.len(), b.edges.len());
+        for (x, y) in a.edges.iter().zip(&b.edges) {
+            assert_eq!((x.leader, x.follower, x.period), (y.leader, y.follower, y.period));
+        }
+    }
+
+    #[test]
+    fn activity_windows_toggle() {
+        let e = WikiEdge {
+            leader: 0,
+            follower: 1,
+            types: vec![0],
+            strength: 0.4,
+            period: 10,
+            phase: 0,
+            duty: 0.5,
+        };
+        let active: Vec<bool> = (0..10).map(|d| e.active(d)).collect();
+        assert_eq!(active.iter().filter(|&&b| b).count(), 5, "50% duty over one period");
+        assert!(e.active(0) && !e.active(9));
+    }
+
+    #[test]
+    fn zipf_sizes_sum_to_n() {
+        for s in [0.0, 0.8, 2.5] {
+            let sizes = zipf_sizes(100, 13, s);
+            assert_eq!(sizes.iter().sum::<usize>(), 100);
+            assert!(sizes.iter().all(|&x| x >= 1));
+        }
+    }
+
+    #[test]
+    fn skew_increases_ratio() {
+        let flat = ratio_of_sizes(100, &zipf_sizes(100, 10, 0.0));
+        let skewed = ratio_of_sizes(100, &zipf_sizes(100, 10, 2.0));
+        assert!(skewed > flat, "skew {skewed} should exceed flat {flat}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Synthetic market price generator — the substitution for Yahoo-Finance
+//! historical closing prices (DESIGN.md §4.1).
+//!
+//! Daily log-returns follow a factor model:
+//!
+//! ```text
+//! r_i(t) = μ + β_m,i · m(t) + β_s,i · f_{sector(i)}(t)
+//!        + φ · r_i(t−1)                       (momentum)
+//!        + Σ_{e: follower=i} γ_e(t) · r_{leader(e)}(t−1)   (lead-lag)
+//!        + σ_i · ε_i(t)                       (idiosyncratic noise)
+//! ```
+//!
+//! with AR(1) market and sector factors, a COVID-like crash-and-recovery
+//! regime at the train/test boundary (the paper's test period starts
+//! 2020-03-02, right at the crash — see Figure 1(a)), and *time-varying*
+//! spillover along wiki edges: `γ_e(t) = γ_e·(0.25 + 0.75·active_e(t))`, the
+//! structure the time-sensitive strategy (Eq. 5) is designed to capture and
+//! static adjacencies cannot.
+
+use crate::relations::WikiEdge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtgcn_tensor::Tensor;
+
+/// Price-dynamics configuration. Defaults give ~2 % daily idiosyncratic
+/// volatility with a meaningful (but not dominant) predictable component.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    pub n_stocks: usize,
+    pub days: usize,
+    pub seed: u64,
+    /// Sector id per stock.
+    pub sector_of: Vec<usize>,
+    /// Lead-lag spillover edges: the sparse wiki relations (time-varying
+    /// activity windows) plus intra-industry leader edges (always on).
+    pub spillover_edges: Vec<WikiEdge>,
+    /// Day at which the crash regime begins, if any.
+    pub shock_day: Option<usize>,
+    /// Daily idiosyncratic volatility.
+    pub idio_vol: f32,
+    /// Market factor volatility and AR(1) persistence.
+    pub market_vol: f32,
+    pub market_ar: f32,
+    /// Sector factor volatility and AR(1) persistence.
+    pub sector_vol: f32,
+    pub sector_ar: f32,
+    /// Own-stock momentum coefficient φ.
+    pub momentum: f32,
+    /// Small positive drift (annualised ≈ 5 %).
+    pub drift: f32,
+}
+
+impl SynthConfig {
+    pub fn new(n_stocks: usize, days: usize, seed: u64, sector_of: Vec<usize>) -> Self {
+        assert_eq!(sector_of.len(), n_stocks, "one sector per stock");
+        SynthConfig {
+            n_stocks,
+            days,
+            seed,
+            sector_of,
+            spillover_edges: Vec::new(),
+            shock_day: None,
+            idio_vol: 0.02,
+            market_vol: 0.008,
+            market_ar: 0.35,
+            sector_vol: 0.007,
+            sector_ar: 0.55,
+            momentum: 0.08,
+            drift: 0.0002,
+        }
+    }
+}
+
+/// The crash-and-recovery regime: [`CRASH_LEN`] days of strong negative
+/// market drift followed by [`RECOVERY_LEN`] days of positive drift
+/// (≈ March–May 2020).
+pub const CRASH_LEN: usize = 18;
+pub const RECOVERY_LEN: usize = 45;
+const CRASH_DRIFT: f32 = -0.018;
+const RECOVERY_DRIFT: f32 = 0.009;
+
+/// Generated market: closing prices and the underlying ground truth.
+#[derive(Clone, Debug)]
+pub struct MarketSim {
+    /// Closing prices, shape `(days, N)`.
+    pub prices: Tensor,
+    /// Daily log-returns actually realised, shape `(days, N)` (`r(0) = 0`).
+    pub returns: Tensor,
+    /// Config used (kept for introspection / case studies).
+    pub config: SynthConfig,
+}
+
+/// Shock drift adjustment for the market factor at `day`.
+fn shock_drift(day: usize, shock_day: Option<usize>) -> f32 {
+    match shock_day {
+        Some(s) if day >= s && day < s + CRASH_LEN => CRASH_DRIFT,
+        Some(s) if day >= s + CRASH_LEN && day < s + CRASH_LEN + RECOVERY_LEN => RECOVERY_DRIFT,
+        _ => 0.0,
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn randn(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Simulate the market.
+pub fn simulate(config: SynthConfig) -> MarketSim {
+    let n = config.n_stocks;
+    let days = config.days;
+    assert!(days >= 2, "need at least two days of prices");
+    let n_sectors = config.sector_of.iter().copied().max().map_or(1, |m| m + 1);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_a11c);
+
+    // Per-stock loadings and volatilities.
+    let beta_market: Vec<f32> = (0..n).map(|_| 0.7 + 0.6 * rng.gen::<f32>()).collect();
+    let beta_sector: Vec<f32> = (0..n).map(|_| 0.6 + 0.8 * rng.gen::<f32>()).collect();
+    let sigma: Vec<f32> =
+        (0..n).map(|_| config.idio_vol * (0.7 + 0.6 * rng.gen::<f32>())).collect();
+    let start_price: Vec<f32> = (0..n).map(|_| 10.0 + 290.0 * rng.gen::<f32>()).collect();
+
+    // Group spillover edges by follower for O(E) per day.
+    let mut incoming: Vec<Vec<&WikiEdge>> = vec![Vec::new(); n];
+    for e in &config.spillover_edges {
+        incoming[e.follower].push(e);
+    }
+
+    let mut prices = Tensor::zeros([days, n]);
+    let mut returns = Tensor::zeros([days, n]);
+    prices.data_mut()[..n].copy_from_slice(&start_price);
+
+    let mut market_f = 0.0f32;
+    let mut sector_f = vec![0.0f32; n_sectors];
+    let mut prev_ret = vec![0.0f32; n];
+
+    for day in 1..days {
+        // Factor updates.
+        market_f = config.market_ar * market_f
+            + config.market_vol * randn(&mut rng)
+            + shock_drift(day, config.shock_day);
+        for f in sector_f.iter_mut() {
+            *f = config.sector_ar * *f + config.sector_vol * randn(&mut rng);
+        }
+        let mut today = vec![0.0f32; n];
+        for i in 0..n {
+            let mut r = config.drift
+                + beta_market[i] * market_f
+                + beta_sector[i] * sector_f[config.sector_of[i]]
+                + config.momentum * prev_ret[i]
+                + sigma[i] * randn(&mut rng);
+            for e in &incoming[i] {
+                // High active/inactive contrast: the time-varying component
+                // is the structure only the time-sensitive strategy can
+                // track (Figure 1(b)'s product-launch periods).
+                let gamma = e.strength * (0.15 + if e.active(day) { 0.85 } else { 0.0 });
+                r += gamma * prev_ret[e.leader];
+            }
+            // Clamp daily log-return to ±25 % — circuit-breaker realism and
+            // numerical safety.
+            today[i] = r.clamp(-0.25, 0.25);
+        }
+        for i in 0..n {
+            let prev_p = prices.data()[(day - 1) * n + i];
+            let p = (prev_p * today[i].exp()).max(0.01);
+            prices.data_mut()[day * n + i] = p;
+            returns.data_mut()[day * n + i] = today[i];
+        }
+        prev_ret = today;
+    }
+
+    MarketSim { prices, returns, config }
+}
+
+impl MarketSim {
+    pub fn n_stocks(&self) -> usize {
+        self.config.n_stocks
+    }
+
+    pub fn days(&self) -> usize {
+        self.config.days
+    }
+
+    /// Closing price of stock `i` at `day`.
+    pub fn price(&self, day: usize, i: usize) -> f32 {
+        self.prices.at(&[day, i])
+    }
+
+    /// Next-day return ratio `r_i^{t+1} = (p^{t+1} − p^t)/p^t` (paper Eq. 10).
+    pub fn return_ratio(&self, day: usize, i: usize) -> f32 {
+        let p0 = self.price(day, i);
+        let p1 = self.price(day + 1, i);
+        (p1 - p0) / p0
+    }
+
+    /// All next-day return ratios at `day` as a vector of length `N`.
+    pub fn return_ratios(&self, day: usize) -> Vec<f32> {
+        (0..self.n_stocks()).map(|i| self.return_ratio(day, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(seed: u64) -> SynthConfig {
+        SynthConfig::new(6, 300, seed, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn prices_positive_and_deterministic() {
+        let a = simulate(tiny_config(7));
+        let b = simulate(tiny_config(7));
+        assert_eq!(a.prices, b.prices);
+        assert!(a.prices.data().iter().all(|&p| p > 0.0));
+        let c = simulate(tiny_config(8));
+        assert_ne!(a.prices, c.prices);
+    }
+
+    #[test]
+    fn volatility_in_realistic_range() {
+        let sim = simulate(tiny_config(3));
+        let n = sim.n_stocks();
+        let mut sq = 0.0f64;
+        let mut count = 0usize;
+        for day in 1..sim.days() {
+            for i in 0..n {
+                let r = sim.returns.at(&[day, i]) as f64;
+                sq += r * r;
+                count += 1;
+            }
+        }
+        let vol = (sq / count as f64).sqrt();
+        assert!((0.01..0.06).contains(&vol), "daily vol {vol}");
+    }
+
+    #[test]
+    fn shock_crashes_then_recovers() {
+        let mut cfg = tiny_config(5);
+        cfg.shock_day = Some(150);
+        let sim = simulate(cfg);
+        let n = sim.n_stocks();
+        let avg_price =
+            |d: usize| (0..n).map(|i| sim.price(d, i)).sum::<f32>() / n as f32;
+        let before = avg_price(149);
+        let bottom = avg_price(150 + CRASH_LEN);
+        let after = avg_price(150 + CRASH_LEN + RECOVERY_LEN);
+        assert!(bottom < before * 0.92, "crash should depress prices: {before} -> {bottom}");
+        assert!(after > bottom * 1.05, "recovery should lift prices: {bottom} -> {after}");
+    }
+
+    #[test]
+    fn lead_lag_spillover_is_detectable() {
+        // With one strong always-on edge, follower returns should correlate
+        // with lagged leader returns much more than reverse.
+        let mut cfg = SynthConfig::new(2, 2000, 11, vec![0, 1]);
+        cfg.spillover_edges.push(WikiEdge {
+            leader: 0,
+            follower: 1,
+            types: vec![0],
+            strength: 0.6,
+            period: 10,
+            phase: 0,
+            duty: 1.0,
+        });
+        let sim = simulate(cfg);
+        let corr = |lag_series: &dyn Fn(usize) -> (f32, f32)| {
+            let mut sxy = 0.0f64;
+            let mut sxx = 0.0f64;
+            let mut syy = 0.0f64;
+            for d in 2..sim.days() {
+                let (x, y) = lag_series(d);
+                sxy += (x * y) as f64;
+                sxx += (x * x) as f64;
+                syy += (y * y) as f64;
+            }
+            sxy / (sxx.sqrt() * syy.sqrt())
+        };
+        let forward =
+            corr(&|d| (sim.returns.at(&[d - 1, 0]), sim.returns.at(&[d, 1])));
+        let backward =
+            corr(&|d| (sim.returns.at(&[d - 1, 1]), sim.returns.at(&[d, 0])));
+        assert!(forward > 0.25, "leader should predict follower, corr {forward}");
+        assert!(forward > backward + 0.15, "direction matters: fwd {forward} vs bwd {backward}");
+    }
+
+    #[test]
+    fn sector_comovement_exceeds_cross_sector() {
+        let sim = simulate(tiny_config(21));
+        let corr = |a: usize, b: usize| {
+            let mut sxy = 0.0f64;
+            let mut sxx = 0.0f64;
+            let mut syy = 0.0f64;
+            for d in 1..sim.days() {
+                let x = sim.returns.at(&[d, a]) as f64;
+                let y = sim.returns.at(&[d, b]) as f64;
+                sxy += x * y;
+                sxx += x * x;
+                syy += y * y;
+            }
+            sxy / (sxx.sqrt() * syy.sqrt())
+        };
+        // Average same-sector vs cross-sector correlation.
+        let same = (corr(0, 1) + corr(1, 2) + corr(3, 4) + corr(4, 5)) / 4.0;
+        let cross = (corr(0, 3) + corr(1, 4) + corr(2, 5)) / 3.0;
+        assert!(same > cross, "same-sector corr {same} should exceed cross {cross}");
+    }
+
+    #[test]
+    fn return_ratio_matches_prices() {
+        let sim = simulate(tiny_config(2));
+        let r = sim.return_ratio(10, 3);
+        let manual = (sim.price(11, 3) - sim.price(10, 3)) / sim.price(10, 3);
+        assert!((r - manual).abs() < 1e-7);
+        assert_eq!(sim.return_ratios(10).len(), 6);
+    }
+}

@@ -1,0 +1,191 @@
+//! Stock universes calibrated to the paper's three markets (Tables II–III)
+//! plus reduced-scale variants for laptop-budget runs.
+
+use serde::{Deserialize, Serialize};
+
+/// The three markets evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Market {
+    Nasdaq,
+    Nyse,
+    Csi,
+}
+
+impl Market {
+    pub const ALL: [Market; 3] = [Market::Nasdaq, Market::Nyse, Market::Csi];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Market::Nasdaq => "NASDAQ",
+            Market::Nyse => "NYSE",
+            Market::Csi => "CSI",
+        }
+    }
+
+    /// The comparison index plotted in Figure 6 for this market.
+    pub fn index_name(&self) -> &'static str {
+        match self {
+            Market::Nasdaq => "DJI",
+            Market::Nyse => "S&P 500",
+            Market::Csi => "CSI 300",
+        }
+    }
+}
+
+/// Dataset scale. Paper scale (854/1405/242 stocks × 1295 train days × 15
+/// seeds) exceeds a CPU laptop budget; `Small` preserves relation ratios and
+/// the train/test structure at ~1/8 of the stock count (DESIGN.md §4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    Small,
+    Medium,
+    Paper,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Full specification of one market dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UniverseSpec {
+    pub market: Market,
+    /// Number of stocks `N`.
+    pub stocks: usize,
+    /// Trading days in the training period (paper: 1295 = 2015-01 → 2020-02).
+    pub train_days: usize,
+    /// Trading days in the test period (paper: 207 / 207 / 139).
+    pub test_days: usize,
+    /// Number of industry relation types (Table III).
+    pub industry_types: usize,
+    /// Target industry relation ratio (Table III).
+    pub industry_ratio: f64,
+    /// Number of wiki relation types; 0 for CSI (Table III).
+    pub wiki_types: usize,
+    /// Target wiki relation ratio.
+    pub wiki_ratio: f64,
+    /// Number of latent sectors in the price factor model.
+    pub sectors: usize,
+}
+
+impl UniverseSpec {
+    /// Paper-calibrated spec for a market at a given scale.
+    pub fn of(market: Market, scale: Scale) -> Self {
+        let full = match market {
+            Market::Nasdaq => UniverseSpec {
+                market,
+                stocks: 854,
+                train_days: 1295,
+                test_days: 207,
+                industry_types: 97,
+                industry_ratio: 0.054,
+                wiki_types: 41,
+                wiki_ratio: 0.003,
+                sectors: 12,
+            },
+            Market::Nyse => UniverseSpec {
+                market,
+                stocks: 1405,
+                train_days: 1295,
+                test_days: 207,
+                industry_types: 108,
+                industry_ratio: 0.069,
+                wiki_types: 28,
+                wiki_ratio: 0.004,
+                sectors: 12,
+            },
+            Market::Csi => UniverseSpec {
+                market,
+                stocks: 242,
+                train_days: 1295,
+                test_days: 139,
+                industry_types: 24,
+                industry_ratio: 0.067,
+                wiki_types: 0,
+                wiki_ratio: 0.0,
+                sectors: 8,
+            },
+        };
+        match scale {
+            Scale::Paper => full,
+            Scale::Medium => full.shrink(0.3, 0.5),
+            Scale::Small => full.shrink(0.12, 0.33),
+        }
+    }
+
+    /// Scale stock count and day count while preserving relation ratios.
+    fn shrink(mut self, stock_frac: f64, day_frac: f64) -> Self {
+        self.stocks = ((self.stocks as f64 * stock_frac).round() as usize).max(24);
+        self.train_days = ((self.train_days as f64 * day_frac).round() as usize).max(120);
+        self.test_days = ((self.test_days as f64 * day_frac).round() as usize).max(40);
+        // Type counts shrink with the stock count but stay ≥ a handful so the
+        // multi-hot structure remains non-trivial.
+        self.industry_types = ((self.industry_types as f64 * stock_frac).round() as usize).max(6);
+        if self.wiki_types > 0 {
+            self.wiki_types = ((self.wiki_types as f64 * stock_frac).round() as usize).max(4);
+        }
+        self.sectors = self.sectors.min(self.stocks / 4).max(2);
+        self
+    }
+
+    /// Total simulated days: feature warm-up + training + test, plus one
+    /// extra day so the last test day's next-day return ratio is observable.
+    pub fn total_days(&self) -> usize {
+        crate::features::WARMUP_DAYS + self.train_days + self.test_days + 1
+    }
+
+    /// First day index of the test period (also where the COVID-like shock
+    /// is injected; the paper's test period starts 2020-03-02, right at the
+    /// crash).
+    pub fn test_start(&self) -> usize {
+        crate::features::WARMUP_DAYS + self.train_days
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_table_ii_and_iii() {
+        let n = UniverseSpec::of(Market::Nasdaq, Scale::Paper);
+        assert_eq!((n.stocks, n.train_days, n.test_days), (854, 1295, 207));
+        assert_eq!((n.industry_types, n.wiki_types), (97, 41));
+        let y = UniverseSpec::of(Market::Nyse, Scale::Paper);
+        assert_eq!((y.stocks, y.test_days), (1405, 207));
+        let c = UniverseSpec::of(Market::Csi, Scale::Paper);
+        assert_eq!((c.stocks, c.test_days, c.wiki_types), (242, 139, 0));
+    }
+
+    #[test]
+    fn small_scale_preserves_ratios() {
+        let full = UniverseSpec::of(Market::Nyse, Scale::Paper);
+        let small = UniverseSpec::of(Market::Nyse, Scale::Small);
+        assert!(small.stocks < full.stocks / 4);
+        assert_eq!(small.industry_ratio, full.industry_ratio);
+        assert_eq!(small.wiki_ratio, full.wiki_ratio);
+        assert!(small.stocks >= 24 && small.test_days >= 40);
+    }
+
+    #[test]
+    fn csi_has_no_wiki_relations_at_any_scale() {
+        for scale in [Scale::Small, Scale::Medium, Scale::Paper] {
+            let c = UniverseSpec::of(Market::Csi, scale);
+            assert_eq!(c.wiki_types, 0);
+            assert_eq!(c.wiki_ratio, 0.0);
+        }
+    }
+
+    #[test]
+    fn index_names() {
+        assert_eq!(Market::Nasdaq.index_name(), "DJI");
+        assert_eq!(Market::Csi.index_name(), "CSI 300");
+    }
+}

@@ -1,0 +1,275 @@
+//! Causal 1-D convolution — the temporal-convolution primitive of RT-GCN
+//! (paper Section IV-C, Figure 4).
+//!
+//! Layout: input `(B, C_in, L)` where `B` indexes stocks, channels are
+//! features and `L` is the time axis; weight `(C_out, C_in, k)`. Causality is
+//! enforced with left-only zero padding of `dilation·(k−1)` so output step `t`
+//! never reads inputs later than `t` (no future leakage — Eq. 6). A stride
+//! `> 1` compresses the temporal dimension, expanding the receptive field as
+//! the paper describes.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Static configuration of a causal conv.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvSpec {
+    pub kernel: usize,
+    pub stride: usize,
+    pub dilation: usize,
+}
+
+impl ConvSpec {
+    pub fn new(kernel: usize, stride: usize, dilation: usize) -> Self {
+        assert!(kernel >= 1 && stride >= 1 && dilation >= 1, "conv spec fields must be >= 1");
+        ConvSpec { kernel, stride, dilation }
+    }
+
+    /// Left padding that makes the convolution causal.
+    #[inline]
+    pub fn pad(&self) -> usize {
+        self.dilation * (self.kernel - 1)
+    }
+
+    /// Output length for input length `l` (always ≥ 1 for `l ≥ 1`).
+    #[inline]
+    pub fn out_len(&self, l: usize) -> usize {
+        if l == 0 {
+            0
+        } else {
+            (l - 1) / self.stride + 1
+        }
+    }
+}
+
+impl Tape {
+    /// Causal strided 1-D convolution.
+    ///
+    /// * `x`: `(B, C_in, L)`
+    /// * `w`: `(C_out, C_in, k)`
+    /// * `bias`: `(C_out)`
+    ///
+    /// Returns `(B, C_out, L_out)` with `L_out = ⌈L / stride⌉`.
+    pub fn conv1d_causal(&mut self, x: Var, w: Var, bias: Var, spec: ConvSpec) -> Var {
+        let xv = self.value(x);
+        let wv = self.value(w);
+        let bv = self.value(bias);
+        assert_eq!(xv.rank(), 3, "conv1d input must be (B, C_in, L), got {:?}", xv.shape());
+        assert_eq!(wv.rank(), 3, "conv1d weight must be (C_out, C_in, k), got {:?}", wv.shape());
+        let (b, c_in, l) = (xv.dims()[0], xv.dims()[1], xv.dims()[2]);
+        let (c_out, wc_in, k) = (wv.dims()[0], wv.dims()[1], wv.dims()[2]);
+        assert_eq!(c_in, wc_in, "conv1d channel mismatch: input {c_in}, weight {wc_in}");
+        assert_eq!(k, spec.kernel, "weight kernel dim {k} != spec kernel {}", spec.kernel);
+        assert_eq!(bv.dims(), [c_out], "bias must be (C_out)");
+
+        let pad = spec.pad();
+        let l_out = spec.out_len(l);
+        let mut out = Tensor::zeros([b, c_out, l_out]);
+        {
+            let (od, xd, wd, bd) = (out.data_mut(), xv.data(), wv.data(), bv.data());
+            for bi in 0..b {
+                for co in 0..c_out {
+                    let obase = (bi * c_out + co) * l_out;
+                    for t in 0..l_out {
+                        let mut acc = bd[co];
+                        let origin = t * spec.stride; // rightmost input tap (before pad shift)
+                        for ci in 0..c_in {
+                            let xbase = (bi * c_in + ci) * l;
+                            let wbase = (co * c_in + ci) * k;
+                            for j in 0..k {
+                                // padded position = origin + j*dilation; real
+                                // input index = that − pad.
+                                let ppos = origin + j * spec.dilation;
+                                if ppos >= pad {
+                                    let ipos = ppos - pad;
+                                    debug_assert!(ipos <= origin, "causality violated");
+                                    acc += wd[wbase + j] * xd[xbase + ipos];
+                                }
+                            }
+                        }
+                        od[obase + t] = acc;
+                    }
+                }
+            }
+        }
+
+        self.push_op(out, vec![x, w, bias], move |ctx| {
+            let (xd, wd) = (ctx.parents[0].data(), ctx.parents[1].data());
+            let g = ctx.grad.data();
+            let mut gx = vec![0.0f32; b * c_in * l];
+            let mut gw = vec![0.0f32; c_out * c_in * k];
+            let mut gb = vec![0.0f32; c_out];
+            for bi in 0..b {
+                for co in 0..c_out {
+                    let obase = (bi * c_out + co) * l_out;
+                    for t in 0..l_out {
+                        let go = g[obase + t];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        gb[co] += go;
+                        let origin = t * spec.stride;
+                        for ci in 0..c_in {
+                            let xbase = (bi * c_in + ci) * l;
+                            let wbase = (co * c_in + ci) * k;
+                            for j in 0..k {
+                                let ppos = origin + j * spec.dilation;
+                                if ppos >= pad {
+                                    let ipos = ppos - pad;
+                                    gw[wbase + j] += go * xd[xbase + ipos];
+                                    gx[xbase + ipos] += go * wd[wbase + j];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            vec![
+                Tensor::new([b, c_in, l], gx),
+                Tensor::new([c_out, c_in, k], gw),
+                Tensor::from_vec(gb),
+            ]
+        })
+    }
+
+    /// Weight-normalised convolution weight (Salimans & Kingma): given the
+    /// direction tensor `v: (C_out, C_in, k)` and per-filter gain `g: (C_out)`,
+    /// returns `w = g · v / ‖v‖` with the norm taken per output filter. The
+    /// paper applies weight normalisation to all TCN filters.
+    pub fn weight_norm(&mut self, v: Var, gain: Var) -> Var {
+        let vv = self.value(v);
+        assert_eq!(vv.rank(), 3, "weight_norm expects (C_out, C_in, k)");
+        let (c_out, c_in, k) = (vv.dims()[0], vv.dims()[1], vv.dims()[2]);
+        let flat = self.reshape(v, [c_out, c_in * k]);
+        let norm = self.row_norm(flat, 1e-6); // (C_out, 1)
+        let gain2 = self.reshape(gain, [c_out, 1]);
+        let scale = self.div(gain2, norm); // (C_out, 1)
+        let scaled = self.mul(flat, scale); // broadcast over columns
+        self.reshape(scaled, [c_out, c_in, k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::check_gradient;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // k=1, stride=1: convolution is a pointwise map with weight 1.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([1, 1, 4], vec![1., 2., 3., 4.]));
+        let w = tape.leaf(Tensor::new([1, 1, 1], vec![1.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.0]));
+        let y = tape.conv1d_causal(x, w, b, ConvSpec::new(1, 1, 1));
+        assert_eq!(tape.value(y).data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn causal_sum_kernel() {
+        // k=2 with weights [1,1]: y_t = x_{t-1} + x_t, with x_{-1}=0.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([1, 1, 4], vec![1., 2., 3., 4.]));
+        let w = tape.leaf(Tensor::new([1, 1, 2], vec![1.0, 1.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.0]));
+        let y = tape.conv1d_causal(x, w, b, ConvSpec::new(2, 1, 1));
+        assert_eq!(tape.value(y).data(), &[1., 3., 5., 7.]);
+    }
+
+    #[test]
+    fn no_future_leakage() {
+        // Perturbing x_t must never change outputs before t.
+        let spec = ConvSpec::new(3, 1, 1);
+        let base = Tensor::new([1, 1, 5], vec![1., 2., 3., 4., 5.]);
+        let run = |x: &Tensor| -> Vec<f32> {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let w = tape.leaf(Tensor::new([1, 1, 3], vec![0.3, -0.5, 0.8]));
+            let b = tape.leaf(Tensor::from_vec(vec![0.1]));
+            let y = tape.conv1d_causal(xv, w, b, spec);
+            tape.value(y).data().to_vec()
+        };
+        let y0 = run(&base);
+        let mut pert = base.clone();
+        pert.data_mut()[3] += 10.0; // change x_3
+        let y1 = run(&pert);
+        assert_eq!(&y0[..3], &y1[..3], "outputs before t=3 must be unchanged");
+        assert_ne!(y0[3], y1[3]);
+    }
+
+    #[test]
+    fn stride_compresses_length() {
+        let spec = ConvSpec::new(3, 2, 1);
+        assert_eq!(spec.out_len(8), 4);
+        assert_eq!(spec.out_len(7), 4);
+        assert_eq!(spec.out_len(1), 1);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([2, 3, 8]));
+        let w = tape.leaf(Tensor::ones([4, 3, 3]));
+        let b = tape.leaf(Tensor::zeros([4]));
+        let y = tape.conv1d_causal(x, w, b, spec);
+        assert_eq!(tape.value(y).dims(), &[2, 4, 4]);
+    }
+
+    #[test]
+    fn dilation_expands_receptive_field() {
+        // k=2, dilation=2: y_t = w0·x_{t-2} + w1·x_t.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([1, 1, 5], vec![1., 2., 3., 4., 5.]));
+        let w = tape.leaf(Tensor::new([1, 1, 2], vec![1.0, 10.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.0]));
+        let y = tape.conv1d_causal(x, w, b, ConvSpec::new(2, 1, 2));
+        assert_eq!(tape.value(y).data(), &[10., 20., 31., 42., 53.]);
+    }
+
+    #[test]
+    fn conv_grad_check_input_and_weight() {
+        let spec = ConvSpec::new(3, 2, 1);
+        let x0 = Tensor::new([2, 2, 6], (0..24).map(|v| (v as f32) * 0.1 - 1.0).collect());
+        let w0 = Tensor::new([3, 2, 3], (0..18).map(|v| (v as f32) * 0.05 - 0.4).collect());
+        let w_for_x = w0.clone();
+        check_gradient(&x0, 1e-2, 2e-2, move |tape, x| {
+            let w = tape.leaf(w_for_x.clone());
+            let b = tape.leaf(Tensor::from_vec(vec![0.1, -0.2, 0.3]));
+            let y = tape.conv1d_causal(x, w, b, spec);
+            let sq = tape.square(y);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+        let x_for_w = x0;
+        check_gradient(&w0, 1e-2, 2e-2, move |tape, w| {
+            let x = tape.leaf(x_for_w.clone());
+            let b = tape.leaf(Tensor::from_vec(vec![0.1, -0.2, 0.3]));
+            let y = tape.conv1d_causal(x, w, b, spec);
+            let sq = tape.square(y);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn weight_norm_unit_direction() {
+        // With gain g and any v, each output filter has norm g.
+        let mut tape = Tape::new();
+        let v = tape.leaf(Tensor::new([2, 1, 2], vec![3., 4., 1., 0.]));
+        let g = tape.leaf(Tensor::from_vec(vec![2.0, 5.0]));
+        let wn = tape.weight_norm(v, g);
+        let w = tape.value(wn).clone();
+        let f0: f32 = w.data()[..2].iter().map(|&x| x * x).sum::<f32>().sqrt();
+        let f1: f32 = w.data()[2..].iter().map(|&x| x * x).sum::<f32>().sqrt();
+        assert!((f0 - 2.0).abs() < 1e-4, "filter 0 norm {f0}");
+        assert!((f1 - 5.0).abs() < 1e-4, "filter 1 norm {f1}");
+    }
+
+    #[test]
+    fn weight_norm_grad_check() {
+        let v0 = Tensor::new([2, 2, 2], vec![0.5, -1.0, 2.0, 0.3, 1.5, -0.7, 0.2, 0.9]);
+        check_gradient(&v0, 1e-3, 2e-2, |tape, v| {
+            let g = tape.leaf(Tensor::from_vec(vec![1.5, 0.8]));
+            let w = tape.weight_norm(v, g);
+            let wsum = tape.square(w);
+            tape.sum_all(wsum)
+        })
+        .unwrap();
+    }
+}

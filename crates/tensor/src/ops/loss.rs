@@ -1,0 +1,200 @@
+//! Loss functions.
+//!
+//! The paper's objective (Eq. 9) combines a pointwise regression loss
+//! (Eq. 7), the O(N²) pairwise ranking hinge (Eq. 8) — implemented here as a
+//! fused op so the tape does not hold N² nodes — and an L2 penalty (applied
+//! in the optimiser, see [`crate::optim`]).
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Mean squared error against a constant target: `mean((pred − target)²)`.
+    ///
+    /// Eq. (7) writes `‖r̂ − r‖²`; we use the mean so the loss scale is
+    /// invariant to the number of stocks, which only rescales α and the
+    /// learning rate.
+    pub fn mse(&mut self, pred: Var, target: &Tensor) -> Var {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "mse shapes must match");
+        let n = pv.numel().max(1) as f32;
+        let loss = pv.data().iter().zip(target.data()).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>()
+            / n;
+        let t = target.clone();
+        self.push_op(Tensor::scalar(loss), vec![pred], move |ctx| {
+            let g = ctx.grad.item() * 2.0 / n;
+            let data = ctx.parents[0]
+                .data()
+                .iter()
+                .zip(t.data())
+                .map(|(&p, &tv)| g * (p - tv))
+                .collect();
+            vec![Tensor::new(ctx.parents[0].shape().clone(), data)]
+        })
+    }
+
+    /// Pairwise ranking hinge (Eq. 8):
+    /// `Σ_i Σ_j ReLU(−(r̂_i − r̂_j)(r_i − r_j))`,
+    /// normalised by the number of ordered pairs so that α is
+    /// dataset-size-independent. Fused: O(N²) time, O(N) memory, one node.
+    pub fn pairwise_rank_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let pv = self.value(pred);
+        assert_eq!(pv.numel(), target.numel(), "rank loss length mismatch");
+        let n = pv.numel();
+        let norm = (n * n).max(1) as f32;
+        let (pd, td) = (pv.data(), target.data());
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let m = -(pd[i] - pd[j]) * (td[i] - td[j]);
+                if m > 0.0 {
+                    loss += m as f64;
+                }
+            }
+        }
+        let t = target.clone();
+        self.push_op(Tensor::scalar((loss as f32) / norm), vec![pred], move |ctx| {
+            let g = ctx.grad.item() / norm;
+            let pd = ctx.parents[0].data();
+            let td = t.data();
+            let mut grad = vec![0.0f32; n];
+            for i in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    // margin m_ij = −(p_i − p_j)(t_i − t_j); ∂m_ij/∂p_i = −(t_i − t_j),
+                    // and by symmetry m_ji contributes the same term, hence ×2.
+                    if -(pd[i] - pd[j]) * (td[i] - td[j]) > 0.0 {
+                        acc -= 2.0 * (td[i] - td[j]);
+                    }
+                }
+                grad[i] = g * acc;
+            }
+            vec![Tensor::new(ctx.parents[0].shape().clone(), grad)]
+        })
+    }
+
+    /// Negative log-likelihood of integer class labels given `(B, C)` logits.
+    /// Used by the classification baselines (A-LSTM's up/neutral/down head).
+    pub fn cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.rank(), 2, "cross_entropy expects (B, C) logits");
+        let (b, c) = (lv.dims()[0], lv.dims()[1]);
+        assert_eq!(labels.len(), b, "one label per row required");
+        for &l in labels {
+            assert!(l < c, "label {l} out of range for {c} classes");
+        }
+        let logp = self.log_softmax(logits);
+        // Pick out −logp[i, labels[i]] with a fused op.
+        let lpv = self.value(logp);
+        let mut loss = 0.0;
+        for (i, &l) in labels.iter().enumerate() {
+            loss -= lpv.data()[i * c + l];
+        }
+        let labels = labels.to_vec();
+        self.push_op(Tensor::scalar(loss / b as f32), vec![logp], move |ctx| {
+            let g = ctx.grad.item() / b as f32;
+            let mut grad = vec![0.0f32; b * c];
+            for (i, &l) in labels.iter().enumerate() {
+                grad[i * c + l] = -g;
+            }
+            vec![Tensor::new(ctx.parents[0].shape().clone(), grad)]
+        })
+    }
+
+    /// The paper's combined objective without the L2 term (that lives in the
+    /// optimiser): `τ_reg + α · τ_rank` (Eq. 9).
+    pub fn combined_rank_loss(&mut self, pred: Var, target: &Tensor, alpha: f32) -> Var {
+        let reg = self.mse(pred, target);
+        let rank = self.pairwise_rank_loss(pred, target);
+        let scaled = self.scale(rank, alpha);
+        self.add(reg, scaled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::check_gradient;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let mut tape = Tape::new();
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0]);
+        let p = tape.leaf(t.clone());
+        let l = tape.mse(p, &t);
+        assert_eq!(tape.value(l).item(), 0.0);
+        tape.backward(l);
+        assert_eq!(tape.grad(p).unwrap().data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_grad_check() {
+        let p0 = Tensor::from_vec(vec![0.2, -0.5, 1.4, 0.8]);
+        let t = Tensor::from_vec(vec![0.0, 0.5, 1.0, -1.0]);
+        check_gradient(&p0, 1e-3, 1e-2, move |tape, p| tape.mse(p, &t)).unwrap();
+    }
+
+    #[test]
+    fn rank_loss_zero_for_perfect_order() {
+        // Predictions perfectly concordant with targets: every pairwise
+        // product is non-negative, so hinge is zero.
+        let mut tape = Tape::new();
+        let t = Tensor::from_vec(vec![0.1, 0.2, 0.3]);
+        let p = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0]));
+        let l = tape.pairwise_rank_loss(p, &t);
+        assert_eq!(tape.value(l).item(), 0.0);
+    }
+
+    #[test]
+    fn rank_loss_penalises_inversions() {
+        let mut tape = Tape::new();
+        let t = Tensor::from_vec(vec![0.0, 1.0]);
+        // Predicted order inverted.
+        let p = tape.leaf(Tensor::from_vec(vec![1.0, 0.0]));
+        let l = tape.pairwise_rank_loss(p, &t);
+        // m_01 = −(1−0)(0−1) = 1 for both ordered pairs, / 4 pairs = 0.5.
+        assert!((tape.value(l).item() - 0.5).abs() < 1e-6);
+        tape.backward(l);
+        let g = tape.grad(p).unwrap();
+        // Gradient pushes p_0 down and p_1 up.
+        assert!(g.data()[0] > 0.0 && g.data()[1] < 0.0);
+    }
+
+    #[test]
+    fn rank_loss_grad_check() {
+        let t = Tensor::from_vec(vec![0.05, -0.02, 0.08, 0.0]);
+        let p0 = Tensor::from_vec(vec![0.3, 0.6, -0.1, 0.2]);
+        check_gradient(&p0, 1e-4, 2e-2, move |tape, p| tape.pairwise_rank_loss(p, &t)).unwrap();
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let mut tape = Tape::new();
+        let good = tape.leaf(Tensor::new([1, 3], vec![5.0, 0.0, 0.0]));
+        let bad = tape.leaf(Tensor::new([1, 3], vec![0.0, 5.0, 0.0]));
+        let lg = tape.cross_entropy(good, &[0]);
+        let lb = tape.cross_entropy(bad, &[0]);
+        assert!(tape.value(lg).item() < tape.value(lb).item());
+    }
+
+    #[test]
+    fn cross_entropy_grad_check() {
+        let l0 = Tensor::new([2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.3, -0.8]);
+        check_gradient(&l0, 1e-3, 1e-2, move |tape, l| tape.cross_entropy(l, &[2, 0])).unwrap();
+    }
+
+    #[test]
+    fn combined_loss_interpolates() {
+        let t = Tensor::from_vec(vec![0.0, 1.0]);
+        let run = |alpha: f32| {
+            let mut tape = Tape::new();
+            let p = tape.leaf(Tensor::from_vec(vec![1.0, 0.0]));
+            let l = tape.combined_rank_loss(p, &t, alpha);
+            tape.value(l).item()
+        };
+        let l0 = run(0.0);
+        let l1 = run(1.0);
+        assert!(l1 > l0, "adding rank loss increases the inverted-order loss");
+        assert!((l1 - l0 - 0.5).abs() < 1e-5, "difference equals the rank term");
+    }
+}

@@ -1,0 +1,268 @@
+//! Reduction ops: full and per-axis sums/means, softmax and row-norms.
+
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Split a shape at `axis` into (outer, axis, inner) strides so a reduction
+/// over `axis` can be written as three nested loops over contiguous memory.
+fn axis_split(shape: &Shape, axis: usize) -> (usize, usize, usize) {
+    assert!(axis < shape.rank(), "axis {axis} out of range for shape {shape:?}");
+    let dims = shape.dims();
+    let outer: usize = dims[..axis].iter().product();
+    let mid = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    (outer, mid, inner)
+}
+
+fn drop_axis(shape: &Shape, axis: usize) -> Shape {
+    let mut dims = shape.dims().to_vec();
+    dims.remove(axis);
+    Shape(dims)
+}
+
+impl Tape {
+    /// Sum of every element, producing a scalar.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let out = Tensor::scalar(self.value(x).sum());
+        self.push_op(out, vec![x], |ctx| {
+            let g = ctx.grad.item();
+            vec![Tensor::full(ctx.parents[0].shape().clone(), g)]
+        })
+    }
+
+    /// Mean of every element, producing a scalar.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let n = self.value(x).numel().max(1) as f32;
+        let s = self.sum_all(x);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Sum over one axis (the axis is removed from the shape).
+    pub fn sum_axis(&mut self, x: Var, axis: usize) -> Var {
+        let xv = self.value(x);
+        let (outer, mid, inner) = axis_split(xv.shape(), axis);
+        let out_shape = drop_axis(xv.shape(), axis);
+        let mut out = Tensor::zeros(out_shape);
+        {
+            let (od, xd) = (out.data_mut(), xv.data());
+            for o in 0..outer {
+                for m in 0..mid {
+                    let src = (o * mid + m) * inner;
+                    let dst = o * inner;
+                    for i in 0..inner {
+                        od[dst + i] += xd[src + i];
+                    }
+                }
+            }
+        }
+        self.push_op(out, vec![x], move |ctx| {
+            let mut gx = Tensor::zeros(ctx.parents[0].shape().clone());
+            let (gxd, gd) = (gx.data_mut(), ctx.grad.data());
+            for o in 0..outer {
+                for m in 0..mid {
+                    let dst = (o * mid + m) * inner;
+                    let src = o * inner;
+                    gxd[dst..dst + inner].copy_from_slice(&gd[src..src + inner]);
+                }
+            }
+            vec![gx]
+        })
+    }
+
+    /// Mean over one axis (the axis is removed from the shape).
+    pub fn mean_axis(&mut self, x: Var, axis: usize) -> Var {
+        let n = self.value(x).dims()[axis].max(1) as f32;
+        let s = self.sum_axis(x, axis);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Numerically stable softmax over the **last** axis.
+    pub fn softmax(&mut self, x: Var) -> Var {
+        let xv = self.value(x);
+        let rank = xv.rank();
+        assert!(rank >= 1, "softmax requires rank >= 1");
+        let (outer, mid, _) = axis_split(xv.shape(), rank - 1);
+        let mut out = Tensor::zeros(xv.shape().clone());
+        {
+            let (od, xd) = (out.data_mut(), xv.data());
+            for o in 0..outer {
+                let row = &xd[o * mid..(o + 1) * mid];
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0;
+                for (j, &v) in row.iter().enumerate() {
+                    let e = (v - max).exp();
+                    od[o * mid + j] = e;
+                    z += e;
+                }
+                for j in 0..mid {
+                    od[o * mid + j] /= z.max(1e-12);
+                }
+            }
+        }
+        self.push_op(out, vec![x], move |ctx| {
+            // dx = y ⊙ (g − Σ_j g_j y_j) per row.
+            let (yd, gd) = (ctx.output.data(), ctx.grad.data());
+            let mut gx = vec![0.0; yd.len()];
+            for o in 0..outer {
+                let base = o * mid;
+                let dot: f32 = (0..mid).map(|j| gd[base + j] * yd[base + j]).sum();
+                for j in 0..mid {
+                    gx[base + j] = yd[base + j] * (gd[base + j] - dot);
+                }
+            }
+            vec![Tensor::new(ctx.parents[0].shape().clone(), gx)]
+        })
+    }
+
+    /// Log-softmax over the last axis (stable; pairs with NLL loss).
+    pub fn log_softmax(&mut self, x: Var) -> Var {
+        let xv = self.value(x);
+        let rank = xv.rank();
+        let (outer, mid, _) = axis_split(xv.shape(), rank - 1);
+        let mut out = Tensor::zeros(xv.shape().clone());
+        {
+            let (od, xd) = (out.data_mut(), xv.data());
+            for o in 0..outer {
+                let row = &xd[o * mid..(o + 1) * mid];
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = row.iter().map(|&v| (v - max).exp()).sum::<f32>().max(1e-12).ln() + max;
+                for j in 0..mid {
+                    od[o * mid + j] = row[j] - lse;
+                }
+            }
+        }
+        self.push_op(out, vec![x], move |ctx| {
+            // dx = g − softmax(x) · Σ_j g_j per row.
+            let (yd, gd) = (ctx.output.data(), ctx.grad.data());
+            let mut gx = vec![0.0; yd.len()];
+            for o in 0..outer {
+                let base = o * mid;
+                let gsum: f32 = gd[base..base + mid].iter().sum();
+                for j in 0..mid {
+                    gx[base + j] = gd[base + j] - yd[base + j].exp() * gsum;
+                }
+            }
+            vec![Tensor::new(ctx.parents[0].shape().clone(), gx)]
+        })
+    }
+
+    /// L2 norm of each row of a matrix, returning a column `[rows, 1]`.
+    /// Clamped at `eps` so weight-norm style divisions stay finite.
+    pub fn row_norm(&mut self, x: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.rank(), 2, "row_norm expects a matrix");
+        let (r, c) = (xv.dims()[0], xv.dims()[1]);
+        let mut out = Tensor::zeros([r, 1]);
+        for i in 0..r {
+            let row = &xv.data()[i * c..(i + 1) * c];
+            out.data_mut()[i] = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
+        }
+        self.push_op(out, vec![x], move |ctx| {
+            let (xd, nd, gd) = (ctx.parents[0].data(), ctx.output.data(), ctx.grad.data());
+            let mut gx = vec![0.0; xd.len()];
+            for i in 0..r {
+                let n = nd[i];
+                let g = gd[i];
+                for j in 0..c {
+                    // d‖x‖/dx = x/‖x‖; zero where clamped.
+                    gx[i * c + j] = if n > eps { g * xd[i * c + j] / n } else { 0.0 };
+                }
+            }
+            vec![Tensor::new(ctx.parents[0].shape().clone(), gx)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::check_gradient;
+
+    #[test]
+    fn sum_axis_values_and_grad() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]));
+        let s0 = tape.sum_axis(x, 0);
+        let s1 = tape.sum_axis(x, 1);
+        assert_eq!(tape.value(s0).data(), &[5., 7., 9.]);
+        assert_eq!(tape.value(s1).data(), &[6., 15.]);
+        let total = tape.sum_all(s1);
+        tape.backward(total);
+        assert_eq!(tape.grad(x).unwrap().data(), &[1.; 6]);
+    }
+
+    #[test]
+    fn sum_axis_middle_of_3d() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([2, 3, 2], (1..=12).map(|v| v as f32).collect()));
+        let s = tape.sum_axis(x, 1);
+        assert_eq!(tape.value(s).dims(), &[2, 2]);
+        // sum over middle: [1+3+5, 2+4+6, 7+9+11, 8+10+12]
+        assert_eq!(tape.value(s).data(), &[9., 12., 27., 30.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([2, 4], vec![1., 2., 3., 4., -1., 0., 1., 100.]));
+        let y = tape.softmax(x);
+        let yd = tape.value(y);
+        let r0: f32 = yd.data()[..4].iter().sum();
+        let r1: f32 = yd.data()[4..].iter().sum();
+        assert!((r0 - 1.0).abs() < 1e-5 && (r1 - 1.0).abs() < 1e-5);
+        assert!(yd.data()[7] > 0.999, "large logit should dominate");
+        assert!(!yd.has_non_finite());
+    }
+
+    #[test]
+    fn softmax_grad_check() {
+        let x = Tensor::new([2, 3], vec![0.1, 0.5, -0.2, 1.0, 0.0, -1.0]);
+        check_gradient(&x, 1e-3, 1e-2, |tape, v| {
+            let s = tape.softmax(v);
+            // weight elements unevenly so gradient isn't trivially zero
+            let w = tape.leaf(Tensor::new([2, 3], vec![1., 2., 3., -1., 0.5, 2.]));
+            let p = tape.mul(s, w);
+            tape.sum_all(p)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn log_softmax_grad_check() {
+        let x = Tensor::new([1, 4], vec![0.3, -0.3, 0.9, 0.1]);
+        check_gradient(&x, 1e-3, 1e-2, |tape, v| {
+            let s = tape.log_softmax(v);
+            let w = tape.leaf(Tensor::new([1, 4], vec![1., -2., 0.5, 3.]));
+            let p = tape.mul(s, w);
+            tape.sum_all(p)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn row_norm_values_and_grad() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([2, 2], vec![3., 4., 0., 0.]));
+        let n = tape.row_norm(x, 1e-6);
+        assert!((tape.value(n).data()[0] - 5.0).abs() < 1e-6);
+        assert!(tape.value(n).data()[1] >= 1e-6);
+        let x2 = Tensor::new([2, 3], vec![0.5, -1.0, 2.0, 0.2, 0.3, -0.4]);
+        check_gradient(&x2, 1e-3, 1e-2, |tape, v| {
+            let n = tape.row_norm(v, 1e-6);
+            tape.sum_all(n)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mean_all_matches_manual() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![2.0, 4.0, 6.0]));
+        let m = tape.mean_all(x);
+        assert!((tape.value(m).item() - 4.0).abs() < 1e-6);
+        tape.backward(m);
+        let g = tape.grad(x).unwrap();
+        assert!(g.allclose(&Tensor::full([3], 1.0 / 3.0), 1e-6));
+    }
+}

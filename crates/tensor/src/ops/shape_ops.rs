@@ -1,0 +1,268 @@
+//! Shape-manipulation ops: reshape, transpose, permute, stack/concat, row
+//! gather/slice. All are differentiable (their backward is the inverse data
+//! movement).
+
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Apply a rank-3 permutation to a shape.
+fn permuted_dims(dims: &[usize], perm: [usize; 3]) -> [usize; 3] {
+    [dims[perm[0]], dims[perm[1]], dims[perm[2]]]
+}
+
+fn permute3_data(x: &Tensor, perm: [usize; 3]) -> Tensor {
+    assert_eq!(x.rank(), 3, "permute3 requires rank-3, got {:?}", x.shape());
+    {
+        let mut seen = [false; 3];
+        for &p in &perm {
+            assert!(p < 3 && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+    }
+    let d = x.dims();
+    let od = permuted_dims(d, perm);
+    let strides = x.shape().strides();
+    let mut out = Tensor::zeros(od);
+    let out_data = out.data_mut();
+    let xd = x.data();
+    let mut flat = 0;
+    for i in 0..od[0] {
+        for j in 0..od[1] {
+            for k in 0..od[2] {
+                let mut idx = [0usize; 3];
+                idx[perm[0]] = i;
+                idx[perm[1]] = j;
+                idx[perm[2]] = k;
+                out_data[flat] = xd[idx[0] * strides[0] + idx[1] * strides[1] + idx[2] * strides[2]];
+                flat += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of a rank-3 permutation.
+fn inverse_perm(perm: [usize; 3]) -> [usize; 3] {
+    let mut inv = [0usize; 3];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+impl Tape {
+    /// View with a new shape (same element count). Gradient reshapes back.
+    pub fn reshape(&mut self, x: Var, shape: impl Into<Shape>) -> Var {
+        let shape = shape.into();
+        let out = self.value(x).reshape(shape);
+        self.push_op(out, vec![x], |ctx| {
+            vec![ctx.grad.reshape(ctx.parents[0].shape().clone())]
+        })
+    }
+
+    /// Matrix transpose (rank-2 only).
+    pub fn transpose2(&mut self, x: Var) -> Var {
+        let out = self.value(x).transpose();
+        self.push_op(out, vec![x], |ctx| vec![ctx.grad.transpose()])
+    }
+
+    /// Permute the axes of a rank-3 tensor, e.g. `(T,N,F) → (N,F,T)` with
+    /// `perm = [1, 2, 0]` (output axis `i` takes input axis `perm[i]`).
+    pub fn permute3(&mut self, x: Var, perm: [usize; 3]) -> Var {
+        let out = permute3_data(self.value(x), perm);
+        let inv = inverse_perm(perm);
+        self.push_op(out, vec![x], move |ctx| vec![permute3_data(ctx.grad, inv)])
+    }
+
+    /// Concatenate along axis 0. All inputs must agree on trailing dims.
+    pub fn concat0(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty(), "concat0 of zero tensors");
+        let first = self.value(xs[0]);
+        let tail: Vec<usize> = first.dims()[1..].to_vec();
+        let inner: usize = tail.iter().product::<usize>().max(1);
+        let mut total0 = 0;
+        let mut lens = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let v = self.value(x);
+            assert_eq!(&v.dims()[1..], &tail[..], "concat0 trailing-dim mismatch");
+            total0 += v.dims()[0];
+            lens.push(v.dims()[0]);
+        }
+        let mut dims = vec![total0];
+        dims.extend_from_slice(&tail);
+        let mut data = Vec::with_capacity(total0 * inner);
+        for &x in xs {
+            data.extend_from_slice(self.value(x).data());
+        }
+        let out = Tensor::new(dims, data);
+        self.push_op(out, xs.to_vec(), move |ctx| {
+            let g = ctx.grad.data();
+            let mut grads = Vec::with_capacity(lens.len());
+            let mut offset = 0;
+            for (p, &l) in ctx.parents.iter().zip(&lens) {
+                let n = l * inner;
+                grads.push(Tensor::new(p.shape().clone(), g[offset..offset + n].to_vec()));
+                offset += n;
+            }
+            grads
+        })
+    }
+
+    /// Stack equal-shaped tensors along a new leading axis.
+    pub fn stack0(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty(), "stack0 of zero tensors");
+        let shape = self.value(xs[0]).shape().clone();
+        let inner = shape.numel();
+        let mut dims = vec![xs.len()];
+        dims.extend_from_slice(shape.dims());
+        let mut data = Vec::with_capacity(xs.len() * inner);
+        for &x in xs {
+            let v = self.value(x);
+            assert_eq!(v.shape(), &shape, "stack0 requires equal shapes");
+            data.extend_from_slice(v.data());
+        }
+        let out = Tensor::new(dims, data);
+        let n = xs.len();
+        self.push_op(out, xs.to_vec(), move |ctx| {
+            let g = ctx.grad.data();
+            (0..n)
+                .map(|i| {
+                    Tensor::new(
+                        ctx.parents[i].shape().clone(),
+                        g[i * inner..(i + 1) * inner].to_vec(),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// Slice rows `[start, end)` along axis 0; gradient zero-pads back.
+    pub fn slice_rows(&mut self, x: Var, start: usize, end: usize) -> Var {
+        let out = self.value(x).slice_axis0(start, end);
+        self.push_op(out, vec![x], move |ctx| {
+            let mut gx = Tensor::zeros(ctx.parents[0].shape().clone());
+            let inner: usize = ctx.parents[0].dims()[1..].iter().product::<usize>().max(1);
+            gx.data_mut()[start * inner..end * inner].copy_from_slice(ctx.grad.data());
+            vec![gx]
+        })
+    }
+
+    /// Gather rows of a matrix by index (duplicates allowed); gradient
+    /// scatter-adds back into the source rows.
+    pub fn gather_rows(&mut self, x: Var, indices: Vec<usize>) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.rank(), 2, "gather_rows expects a matrix");
+        let (r, c) = (xv.dims()[0], xv.dims()[1]);
+        for &i in &indices {
+            assert!(i < r, "gather index {i} out of bounds for {r} rows");
+        }
+        let mut data = Vec::with_capacity(indices.len() * c);
+        for &i in &indices {
+            data.extend_from_slice(&xv.data()[i * c..(i + 1) * c]);
+        }
+        let out = Tensor::new([indices.len(), c], data);
+        self.push_op(out, vec![x], move |ctx| {
+            let mut gx = Tensor::zeros(ctx.parents[0].shape().clone());
+            let g = ctx.grad.data();
+            for (k, &i) in indices.iter().enumerate() {
+                let dst = &mut gx.data_mut()[i * c..(i + 1) * c];
+                for (d, &v) in dst.iter_mut().zip(&g[k * c..(k + 1) * c]) {
+                    *d += v;
+                }
+            }
+            vec![gx]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::check_gradient;
+
+    #[test]
+    fn permute3_roundtrip() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([2, 3, 4], (0..24).map(|v| v as f32).collect()));
+        let p = tape.permute3(x, [1, 2, 0]);
+        assert_eq!(tape.value(p).dims(), &[3, 4, 2]);
+        let back = tape.permute3(p, [2, 0, 1]);
+        assert_eq!(tape.value(back), tape.value(x));
+        // element check: out[j,k,i] == in[i,j,k]
+        assert_eq!(tape.value(p).at(&[2, 3, 1]), tape.value(x).at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn permute3_grad_is_inverse_permutation() {
+        let x = Tensor::new([2, 2, 3], (0..12).map(|v| v as f32 * 0.1).collect());
+        check_gradient(&x, 1e-3, 1e-2, |tape, v| {
+            let p = tape.permute3(v, [2, 0, 1]);
+            let sq = tape.square(p);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn concat0_and_grads() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::new([1, 2], vec![1., 2.]));
+        let b = tape.leaf(Tensor::new([2, 2], vec![3., 4., 5., 6.]));
+        let c = tape.concat0(&[a, b]);
+        assert_eq!(tape.value(c).dims(), &[3, 2]);
+        assert_eq!(tape.value(c).data(), &[1., 2., 3., 4., 5., 6.]);
+        let s = tape.sum_all(c);
+        tape.backward(s);
+        assert_eq!(tape.grad(a).unwrap().dims(), &[1, 2]);
+        assert_eq!(tape.grad(b).unwrap().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn stack0_shape_and_grad() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 2], vec![1., 2., 3., 4.]));
+        let b = tape.leaf(Tensor::new([2, 2], vec![5., 6., 7., 8.]));
+        let s = tape.stack0(&[a, b]);
+        assert_eq!(tape.value(s).dims(), &[2, 2, 2]);
+        let sq = tape.square(s);
+        let total = tape.sum_all(sq);
+        tape.backward(total);
+        assert_eq!(tape.grad(a).unwrap().data(), &[2., 4., 6., 8.]);
+        assert_eq!(tape.grad(b).unwrap().data(), &[10., 12., 14., 16.]);
+    }
+
+    #[test]
+    fn gather_rows_with_duplicates_accumulates() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([3, 2], vec![1., 2., 3., 4., 5., 6.]));
+        let g = tape.gather_rows(x, vec![0, 2, 0]);
+        assert_eq!(tape.value(g).data(), &[1., 2., 5., 6., 1., 2.]);
+        let s = tape.sum_all(g);
+        tape.backward(s);
+        // row 0 gathered twice -> grad 2, row 1 never -> 0, row 2 once -> 1.
+        assert_eq!(tape.grad(x).unwrap().data(), &[2., 2., 0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn slice_rows_grad_zero_pads() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([4, 1], vec![1., 2., 3., 4.]));
+        let s = tape.slice_rows(x, 1, 3);
+        assert_eq!(tape.value(s).data(), &[2., 3.]);
+        let total = tape.sum_all(s);
+        tape.backward(total);
+        assert_eq!(tape.grad(x).unwrap().data(), &[0., 1., 1., 0.]);
+    }
+
+    #[test]
+    fn reshape_grad_flows() {
+        let x = Tensor::new([2, 3], (0..6).map(|v| v as f32).collect());
+        check_gradient(&x, 1e-3, 1e-2, |tape, v| {
+            let r = tape.reshape(v, [3, 2]);
+            let sq = tape.square(r);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,324 @@
+//! Sparse (edge-list) differentiable ops — the kernels behind every graph
+//! layer in the workspace: GCN propagation, the time-sensitive strategy's
+//! per-edge weights, and GAT's per-destination attention softmax.
+//!
+//! Edges are `[src, dst]` pairs shared via `Arc` so backward closures don't
+//! copy potentially large lists.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// A shared edge list over `n` nodes. Self-loops and duplicates are allowed
+/// (self-loops are how GCN's `A + I` renormalisation is expressed).
+#[derive(Clone, Debug)]
+pub struct Edges {
+    pub n: usize,
+    pub pairs: Arc<Vec<[usize; 2]>>,
+}
+
+impl Edges {
+    pub fn new(n: usize, pairs: Vec<[usize; 2]>) -> Self {
+        for &[s, d] in &pairs {
+            assert!(s < n && d < n, "edge ({s},{d}) out of bounds for {n} nodes");
+        }
+        Edges { n, pairs: Arc::new(pairs) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl Tape {
+    /// Sparse weighted aggregation: `out[d] += w_e · x[s]` over all edges
+    /// `e = (s, d)`. `weights: (E)`, `x: (N, F)` → `(N, F)`.
+    ///
+    /// Gradients: `∂L/∂w_e = ⟨g[d], x[s]⟩` and `∂L/∂x[s] += w_e · g[d]`, so
+    /// the op is differentiable w.r.t. both the adjacency weights (needed by
+    /// the weighted and time-sensitive strategies) and the node features.
+    pub fn spmm(&mut self, edges: &Edges, weights: Var, x: Var) -> Var {
+        let wv = self.value(weights);
+        let xv = self.value(x);
+        assert_eq!(wv.numel(), edges.len(), "one weight per edge required");
+        assert_eq!(xv.rank(), 2, "spmm features must be (N, F)");
+        assert_eq!(xv.dims()[0], edges.n, "feature rows must equal node count");
+        let f = xv.dims()[1];
+        let n = edges.n;
+        let mut out = Tensor::zeros([n, f]);
+        {
+            let (od, wd, xd) = (out.data_mut(), wv.data(), xv.data());
+            for (e, &[s, d]) in edges.pairs.iter().enumerate() {
+                let w = wd[e];
+                if w == 0.0 {
+                    continue;
+                }
+                let src = &xd[s * f..(s + 1) * f];
+                let dst = &mut od[d * f..(d + 1) * f];
+                for (o, &v) in dst.iter_mut().zip(src) {
+                    *o += w * v;
+                }
+            }
+        }
+        let pairs = Arc::clone(&edges.pairs);
+        self.push_op(out, vec![weights, x], move |ctx| {
+            let (wd, xd, g) = (ctx.parents[0].data(), ctx.parents[1].data(), ctx.grad.data());
+            let mut gw = vec![0.0f32; wd.len()];
+            let mut gx = vec![0.0f32; xd.len()];
+            for (e, &[s, d]) in pairs.iter().enumerate() {
+                let gdst = &g[d * f..(d + 1) * f];
+                let src = &xd[s * f..(s + 1) * f];
+                let mut acc = 0.0;
+                for (&gv, &xv) in gdst.iter().zip(src) {
+                    acc += gv * xv;
+                }
+                gw[e] = acc;
+                let w = wd[e];
+                if w != 0.0 {
+                    let gsrc = &mut gx[s * f..(s + 1) * f];
+                    for (o, &gv) in gsrc.iter_mut().zip(gdst) {
+                        *o += w * gv;
+                    }
+                }
+            }
+            vec![
+                Tensor::new(ctx.parents[0].shape().clone(), gw),
+                Tensor::new(ctx.parents[1].shape().clone(), gx),
+            ]
+        })
+    }
+
+    /// Per-edge scaled dot product: `y_e = ⟨x[s], x[d]⟩ / scale` — the
+    /// *time-correlation* term of the time-sensitive strategy (Eq. 5, where
+    /// `scale = √n` with `n` the feature dimension).
+    pub fn edge_dot(&mut self, edges: &Edges, x: Var, scale: f32) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.rank(), 2, "edge_dot features must be (N, F)");
+        assert_eq!(xv.dims()[0], edges.n, "feature rows must equal node count");
+        assert!(scale > 0.0, "edge_dot scale must be positive");
+        let f = xv.dims()[1];
+        let inv = 1.0 / scale;
+        let mut out = Vec::with_capacity(edges.len());
+        {
+            let xd = xv.data();
+            for &[s, d] in edges.pairs.iter() {
+                let a = &xd[s * f..(s + 1) * f];
+                let b = &xd[d * f..(d + 1) * f];
+                out.push(a.iter().zip(b).map(|(&u, &v)| u * v).sum::<f32>() * inv);
+            }
+        }
+        let pairs = Arc::clone(&edges.pairs);
+        self.push_op(Tensor::from_vec(out), vec![x], move |ctx| {
+            let (xd, g) = (ctx.parents[0].data(), ctx.grad.data());
+            let mut gx = vec![0.0f32; xd.len()];
+            for (e, &[s, d]) in pairs.iter().enumerate() {
+                let ge = g[e] * inv;
+                if ge == 0.0 {
+                    continue;
+                }
+                for j in 0..f {
+                    gx[s * f + j] += ge * xd[d * f + j];
+                    gx[d * f + j] += ge * xd[s * f + j];
+                }
+            }
+            vec![Tensor::new(ctx.parents[0].shape().clone(), gx)]
+        })
+    }
+
+    /// Softmax over the incoming edges of each destination node (numerically
+    /// stable). Used by GAT-style attention: `α_e = softmax_{e'∈in(d)}(y_e)`.
+    pub fn segment_softmax(&mut self, edges: &Edges, logits: Var) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.numel(), edges.len(), "one logit per edge required");
+        let n = edges.n;
+        let ld = lv.data();
+        let mut max = vec![f32::NEG_INFINITY; n];
+        for (e, &[_, d]) in edges.pairs.iter().enumerate() {
+            max[d] = max[d].max(ld[e]);
+        }
+        let mut z = vec![0.0f32; n];
+        let mut exp = vec![0.0f32; edges.len()];
+        for (e, &[_, d]) in edges.pairs.iter().enumerate() {
+            let v = (ld[e] - max[d]).exp();
+            exp[e] = v;
+            z[d] += v;
+        }
+        for (e, &[_, d]) in edges.pairs.iter().enumerate() {
+            exp[e] /= z[d].max(1e-12);
+        }
+        let pairs = Arc::clone(&edges.pairs);
+        self.push_op(Tensor::from_vec(exp), vec![logits], move |ctx| {
+            // Same Jacobian as row softmax, per destination group:
+            // dx_e = y_e (g_e − Σ_{e'∈in(d)} g_{e'} y_{e'}).
+            let (yd, g) = (ctx.output.data(), ctx.grad.data());
+            let mut dot = vec![0.0f32; n];
+            for (e, &[_, d]) in pairs.iter().enumerate() {
+                dot[d] += g[e] * yd[e];
+            }
+            let mut gx = vec![0.0f32; yd.len()];
+            for (e, &[_, d]) in pairs.iter().enumerate() {
+                gx[e] = yd[e] * (g[e] - dot[d]);
+            }
+            vec![Tensor::new(ctx.parents[0].shape().clone(), gx)]
+        })
+    }
+
+    /// Gather per-edge values from a per-node vector at the edge sources:
+    /// `y_e = v[src_e]`. Gradient scatter-adds. Convenience for degree
+    /// normalisation terms.
+    pub fn gather_src(&mut self, edges: &Edges, v: Var) -> Var {
+        self.gather_endpoint(edges, v, 0)
+    }
+
+    /// As [`Tape::gather_src`] but at edge destinations.
+    pub fn gather_dst(&mut self, edges: &Edges, v: Var) -> Var {
+        self.gather_endpoint(edges, v, 1)
+    }
+
+    fn gather_endpoint(&mut self, edges: &Edges, v: Var, which: usize) -> Var {
+        let vv = self.value(v);
+        assert_eq!(vv.numel(), edges.n, "per-node vector length mismatch");
+        let vd = vv.data();
+        let out: Vec<f32> = edges.pairs.iter().map(|p| vd[p[which]]).collect();
+        let pairs = Arc::clone(&edges.pairs);
+        self.push_op(Tensor::from_vec(out), vec![v], move |ctx| {
+            let mut gv = vec![0.0f32; ctx.parents[0].numel()];
+            for (e, p) in pairs.iter().enumerate() {
+                gv[p[which]] += ctx.grad.data()[e];
+            }
+            vec![Tensor::new(ctx.parents[0].shape().clone(), gv)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::check_gradient;
+
+    fn path_edges() -> Edges {
+        // 0 -> 1 -> 2 plus self loops.
+        Edges::new(3, vec![[0, 1], [1, 2], [0, 0], [1, 1], [2, 2]])
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        // spmm with edges of a dense matrix == A·X.
+        let a = Tensor::new([3, 3], vec![0.5, 0.2, 0.0, 0.1, 0.0, 0.7, 0.0, 0.3, 0.9]);
+        let x = Tensor::new([3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let mut pairs = Vec::new();
+        let mut weights = Vec::new();
+        for d in 0..3 {
+            for s in 0..3 {
+                if a.at(&[d, s]) != 0.0 {
+                    pairs.push([s, d]);
+                    weights.push(a.at(&[d, s]));
+                }
+            }
+        }
+        let edges = Edges::new(3, pairs);
+        let mut tape = Tape::new();
+        let w = tape.leaf(Tensor::from_vec(weights));
+        let xv = tape.leaf(x.clone());
+        let y = tape.spmm(&edges, w, xv);
+        let expect = crate::linalg::matmul(&a, &x);
+        assert!(tape.value(y).allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn spmm_grad_check_weights_and_features() {
+        let edges = path_edges();
+        let x0 = Tensor::new([3, 2], vec![0.4, -0.8, 1.2, 0.3, -0.5, 0.9]);
+        let w0 = Tensor::from_vec(vec![0.7, -0.2, 1.0, 0.5, 0.3]);
+        let (e1, x1) = (edges.clone(), x0.clone());
+        check_gradient(&w0, 1e-3, 1e-2, move |tape, w| {
+            let x = tape.leaf(x1.clone());
+            let y = tape.spmm(&e1, w, x);
+            let sq = tape.square(y);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+        let (e2, w2) = (edges, w0);
+        check_gradient(&x0, 1e-3, 1e-2, move |tape, x| {
+            let w = tape.leaf(w2.clone());
+            let y = tape.spmm(&e2, w, x);
+            let sq = tape.square(y);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn edge_dot_values() {
+        let edges = Edges::new(2, vec![[0, 1]]);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([2, 2], vec![1., 2., 3., 4.]));
+        let y = tape.edge_dot(&edges, x, 2.0f32.sqrt());
+        let expect = (1.0 * 3.0 + 2.0 * 4.0) / 2.0f32.sqrt();
+        assert!((tape.value(y).data()[0] - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn edge_dot_grad_check_including_self_loop() {
+        let edges = Edges::new(3, vec![[0, 1], [2, 2], [1, 0]]);
+        let x0 = Tensor::new([3, 2], vec![0.3, -0.6, 0.9, 0.2, -0.4, 1.1]);
+        check_gradient(&x0, 1e-3, 2e-2, move |tape, x| {
+            let y = tape.edge_dot(&edges, x, 1.5);
+            let w = tape.leaf(Tensor::from_vec(vec![1.0, -2.0, 0.5]));
+            let p = tape.mul(y, w);
+            tape.sum_all(p)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_destination() {
+        let edges = Edges::new(3, vec![[0, 2], [1, 2], [2, 2], [0, 1], [1, 1]]);
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 1.0]));
+        let y = tape.segment_softmax(&edges, logits);
+        let yd = tape.value(y).data();
+        assert!((yd[0] + yd[1] + yd[2] - 1.0).abs() < 1e-5, "dst 2 normalises");
+        assert!((yd[3] + yd[4] - 1.0).abs() < 1e-5, "dst 1 normalises");
+        assert!(yd[2] > yd[1] && yd[1] > yd[0], "order preserved");
+    }
+
+    #[test]
+    fn segment_softmax_grad_check() {
+        let edges = Edges::new(3, vec![[0, 2], [1, 2], [2, 2], [0, 1], [1, 1]]);
+        let l0 = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, -0.9]);
+        check_gradient(&l0, 1e-3, 1e-2, move |tape, l| {
+            let y = tape.segment_softmax(&edges, l);
+            let w = tape.leaf(Tensor::from_vec(vec![2.0, -1.0, 0.5, 1.5, 3.0]));
+            let p = tape.mul(y, w);
+            tape.sum_all(p)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_src_dst() {
+        let edges = Edges::new(3, vec![[0, 1], [2, 0]]);
+        let mut tape = Tape::new();
+        let v = tape.leaf(Tensor::from_vec(vec![10., 20., 30.]));
+        let s = tape.gather_src(&edges, v);
+        let d = tape.gather_dst(&edges, v);
+        assert_eq!(tape.value(s).data(), &[10., 30.]);
+        assert_eq!(tape.value(d).data(), &[20., 10.]);
+        let sum = tape.add(s, d);
+        let total = tape.sum_all(sum);
+        tape.backward(total);
+        // node 0: src of e0 + dst of e1 -> 2; node 1: dst of e0 -> 1; node 2: src of e1 -> 1.
+        assert_eq!(tape.grad(v).unwrap().data(), &[2., 1., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn edges_bounds_checked() {
+        let _ = Edges::new(2, vec![[0, 2]]);
+    }
+}

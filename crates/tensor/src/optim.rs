@@ -1,0 +1,235 @@
+//! Optimisers: SGD (with momentum) and Adam, plus global-norm gradient
+//! clipping. The paper trains with Adam at lr = 0.001 and L2 weight
+//! regularisation λ = 0.01 (Eq. 9); applying λ as a gradient-side penalty
+//! `g += 2λθ` is exactly the gradient of the paper's `λ‖β‖²` loss term.
+
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for id in store.ids().collect::<Vec<_>>() {
+            store.grad_mut(id).scale_assign(scale);
+        }
+    }
+    norm
+}
+
+/// Common optimiser interface.
+pub trait Optimizer {
+    /// Apply one update step from the store's accumulated gradients, then
+    /// zero them.
+    fn step(&mut self, store: &mut ParamStore);
+    /// Learning rate currently in effect.
+    fn lr(&self) -> f32;
+    /// Override the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and L2 penalty.
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    pub l2: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32, l2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum, l2, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.velocity.len() != ids.len() {
+            self.velocity = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape().clone())).collect();
+        }
+        for (k, &id) in ids.iter().enumerate() {
+            let l2 = self.l2;
+            let grad: Vec<f32> = {
+                let g = store.grad(id);
+                let v = store.value(id);
+                g.data().iter().zip(v.data()).map(|(&g, &p)| g + 2.0 * l2 * p).collect()
+            };
+            let vel = &mut self.velocity[k];
+            for (vd, &gd) in vel.data_mut().iter_mut().zip(&grad) {
+                *vd = self.momentum * *vd + gd;
+            }
+            let lr = self.lr;
+            let vel_data: Vec<f32> = vel.data().to_vec();
+            let value = store.value_mut(id);
+            for (p, v) in value.data_mut().iter_mut().zip(vel_data) {
+                *p -= lr * v;
+            }
+        }
+        store.zero_grads();
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and gradient-side L2 penalty.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub l2: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Paper configuration: `Adam::new(0.001, 0.01)` (lr 1e-3, λ = 0.01).
+    pub fn new(lr: f32, l2: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8, l2)
+    }
+
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32, l2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        Adam { lr, beta1, beta2, eps, l2, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.m.len() != ids.len() {
+            self.m = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape().clone())).collect();
+            self.v = ids.iter().map(|&id| Tensor::zeros(store.value(id).shape().clone())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (k, &id) in ids.iter().enumerate() {
+            let l2 = self.l2;
+            let grad: Vec<f32> = {
+                let g = store.grad(id);
+                let p = store.value(id);
+                g.data().iter().zip(p.data()).map(|(&g, &p)| g + 2.0 * l2 * p).collect()
+            };
+            let (m, v) = (&mut self.m[k], &mut self.v[k]);
+            for ((md, vd), &gd) in m.data_mut().iter_mut().zip(v.data_mut()).zip(&grad) {
+                *md = self.beta1 * *md + (1.0 - self.beta1) * gd;
+                *vd = self.beta2 * *vd + (1.0 - self.beta2) * gd * gd;
+            }
+            let lr = self.lr;
+            let eps = self.eps;
+            let m_data: Vec<f32> = m.data().to_vec();
+            let v_data: Vec<f32> = v.data().to_vec();
+            let value = store.value_mut(id);
+            for ((p, md), vd) in value.data_mut().iter_mut().zip(m_data).zip(v_data) {
+                let mhat = md / bc1;
+                let vhat = vd / bc2;
+                *p -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+        store.zero_grads();
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimise f(w) = (w − 3)² and check convergence.
+    fn converges(opt: &mut dyn Optimizer) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(0.0));
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let wv = store.bind(&mut tape, w);
+            let shifted = tape.add_scalar(wv, -3.0);
+            let loss = tape.square(shifted);
+            let loss = tape.sum_all(loss);
+            tape.backward(loss);
+            store.absorb_grads(&tape);
+            opt.step(&mut store);
+        }
+        store.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_to_minimum() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        let w = converges(&mut opt);
+        assert!((w - 3.0).abs() < 1e-3, "sgd ended at {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let w = converges(&mut opt);
+        assert!((w - 3.0).abs() < 1e-2, "sgd+momentum ended at {w}");
+    }
+
+    #[test]
+    fn adam_converges_to_minimum() {
+        let mut opt = Adam::new(0.05, 0.0);
+        let w = converges(&mut opt);
+        assert!((w - 3.0).abs() < 1e-2, "adam ended at {w}");
+    }
+
+    #[test]
+    fn l2_shrinks_optimum_towards_zero() {
+        let mut opt = Adam::new(0.05, 0.5);
+        let w = converges(&mut opt);
+        // With penalty the optimum of (w−3)² + 0.5·w² is at 2/ (1+0.5) ·1.5 = 2.
+        assert!((w - 2.0).abs() < 0.05, "regularised optimum should be 2, got {w}");
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![0.0, 0.0]));
+        let mut tape = Tape::new();
+        let wv = store.bind(&mut tape, w);
+        let t = Tensor::from_vec(vec![30.0, 40.0]);
+        let loss = tape.mse(wv, &t);
+        tape.backward(loss);
+        store.absorb_grads(&tape);
+        let pre = clip_grad_norm(&mut store, 1.0);
+        assert!(pre > 1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(1.0));
+        let mut tape = Tape::new();
+        let wv = store.bind(&mut tape, w);
+        let loss = tape.square(wv);
+        let loss = tape.sum_all(loss);
+        tape.backward(loss);
+        store.absorb_grads(&tape);
+        let mut opt = Adam::new(0.01, 0.0);
+        opt.step(&mut store);
+        assert_eq!(store.grad(w).item(), 0.0);
+    }
+}

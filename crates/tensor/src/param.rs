@@ -1,0 +1,343 @@
+//! Persistent model parameters.
+//!
+//! The tape is rebuilt every step (define-by-run), so parameters live outside
+//! it in a [`ParamStore`]. Each training step binds parameters onto the tape
+//! with [`ParamStore::bind`], runs forward/backward, then calls
+//! [`ParamStore::absorb_grads`] to pull the tape gradients into the
+//! persistent per-parameter gradient buffers consumed by the optimiser.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Stable handle to a parameter within one [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+struct ParamSlot {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A named collection of trainable tensors with persistent gradients.
+#[derive(Default)]
+pub struct ParamStore {
+    slots: Vec<ParamSlot>,
+    by_name: HashMap<String, ParamId>,
+    /// Bindings made since the last `absorb_grads` call: (param, tape node).
+    bindings: RefCell<Vec<(ParamId, Var)>>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter. Names must be unique; namespace layers with
+    /// prefixes like `"gcn.theta"`.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(!self.by_name.contains_key(&name), "duplicate parameter name {name:?}");
+        let grad = Tensor::zeros(value.shape().clone());
+        let id = ParamId(self.slots.len());
+        self.by_name.insert(name.clone(), id);
+        self.slots.push(ParamSlot { name, value, grad });
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar parameters (for model-size reporting).
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.numel()).sum()
+    }
+
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].value
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.slots[id.0].value
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].grad
+    }
+
+    /// Mutable gradient access; public writers are the optimisers in
+    /// [`crate::optim`], kept out of typical model code.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.slots[id.0].grad
+    }
+
+    /// Iterate `(id, name)` pairs in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Put the parameter's current value on the tape as a leaf and remember
+    /// the binding so `absorb_grads` can route the gradient back.
+    pub fn bind(&self, tape: &mut Tape, id: ParamId) -> Var {
+        let var = tape.leaf(self.slots[id.0].value.clone());
+        self.bindings.borrow_mut().push((id, var));
+        var
+    }
+
+    /// After `tape.backward`, accumulate each bound leaf's gradient into the
+    /// parameter's persistent grad buffer and clear the bindings.
+    pub fn absorb_grads(&mut self, tape: &Tape) {
+        let bindings = std::mem::take(&mut *self.bindings.borrow_mut());
+        for (id, var) in bindings {
+            if let Some(g) = tape.grad(var) {
+                self.slots[id.0].grad.add_assign(g);
+            }
+        }
+    }
+
+    /// Discard bindings without absorbing (e.g. after an inference-only pass).
+    pub fn clear_bindings(&self) {
+        self.bindings.borrow_mut().clear();
+    }
+
+    /// Zero every persistent gradient buffer.
+    pub fn zero_grads(&mut self) {
+        for s in &mut self.slots {
+            s.grad.fill(0.0);
+        }
+    }
+
+    /// Global L2 norm over all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.slots.iter().map(|s| s.grad.data().iter().map(|&g| g * g).sum::<f32>()).sum::<f32>().sqrt()
+    }
+
+    /// Global L2 norm over all parameter values.
+    pub fn value_norm(&self) -> f32 {
+        self.slots
+            .iter()
+            .map(|s| s.value.data().iter().map(|&v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Snapshot all values (for early stopping / best-checkpoint restore).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.slots.iter().map(|s| s.value.clone()).collect()
+    }
+
+    /// Restore a snapshot taken from this store.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.slots.len(), "snapshot size mismatch");
+        for (s, t) in self.slots.iter_mut().zip(snapshot) {
+            assert_eq!(s.value.shape(), t.shape(), "snapshot shape mismatch for {}", s.name);
+            s.value = t.clone();
+        }
+    }
+
+    /// Serialise all parameters to a simple self-describing binary format
+    /// (name, shape, f32 data per entry). Checkpointing for trained models.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(b"RTGP\x01");
+        buf.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
+        for s in &self.slots {
+            let name = s.name.as_bytes();
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name);
+            let dims = s.value.dims();
+            buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+            for &d in dims {
+                buf.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &v in s.value.data() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&buf)
+    }
+
+    /// Load a checkpoint produced by [`ParamStore::save`] into an existing
+    /// store. Every parameter must exist with a matching shape (build the
+    /// model with the same config first).
+    pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let bytes = std::fs::read(path)?;
+        let err = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> std::io::Result<&[u8]> {
+            if *pos + n > bytes.len() {
+                return Err(err("truncated checkpoint"));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 5)? != b"RTGP\x01" {
+            return Err(err("not an RTGP v1 checkpoint"));
+        }
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if count != self.slots.len() {
+            return Err(err("parameter count mismatch"));
+        }
+        for _ in 0..count {
+            let nlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+                .map_err(|_| err("invalid parameter name"))?;
+            let rank = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize);
+            }
+            let numel: usize = dims.iter().product();
+            let raw = take(&mut pos, numel * 4)?;
+            let data: Vec<f32> =
+                raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+            let id = self
+                .id(&name)
+                .ok_or_else(|| err(&format!("unknown parameter {name:?} in checkpoint")))?;
+            let expected = self.value(id).shape().clone();
+            let tensor = Tensor::new(dims, data);
+            if tensor.shape() != &expected {
+                return Err(err(&format!("shape mismatch for {name:?}")));
+            }
+            *self.value_mut(id) = tensor;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_backward_absorb_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![2.0, 3.0]));
+        let mut tape = Tape::new();
+        let wv = store.bind(&mut tape, w);
+        let sq = tape.square(wv);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        store.absorb_grads(&tape);
+        assert_eq!(store.grad(w).data(), &[4.0, 6.0]);
+        // Gradients accumulate across absorbs until zeroed.
+        let mut tape2 = Tape::new();
+        let wv2 = store.bind(&mut tape2, w);
+        let sq2 = tape2.square(wv2);
+        let loss2 = tape2.sum_all(sq2);
+        tape2.backward(loss2);
+        store.absorb_grads(&tape2);
+        assert_eq!(store.grad(w).data(), &[8.0, 12.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(w).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::scalar(1.0));
+        store.add("w", Tensor::scalar(2.0));
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0]));
+        let snap = store.snapshot();
+        store.value_mut(w).data_mut()[0] = 99.0;
+        store.restore(&snap);
+        assert_eq!(store.value(w).data(), &[1.0]);
+    }
+
+    #[test]
+    fn lookup_and_counting() {
+        let mut store = ParamStore::new();
+        let a = store.add("layer.a", Tensor::zeros([2, 3]));
+        store.add("layer.b", Tensor::zeros([4]));
+        assert_eq!(store.id("layer.a"), Some(a));
+        assert_eq!(store.id("nope"), None);
+        assert_eq!(store.num_scalars(), 10);
+        assert_eq!(store.name(a), "layer.a");
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("rtgcn_param_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.rtgp");
+        let mut a = ParamStore::new();
+        a.add("layer.w", Tensor::new([2, 2], vec![1.5, -2.5, 0.25, 9.0]));
+        a.add("layer.b", Tensor::from_vec(vec![0.5]));
+        a.save(&path).unwrap();
+        let mut b = ParamStore::new();
+        let w = b.add("layer.w", Tensor::zeros([2, 2]));
+        let bias = b.add("layer.b", Tensor::zeros([1]));
+        b.load(&path).unwrap();
+        assert_eq!(b.value(w).data(), &[1.5, -2.5, 0.25, 9.0]);
+        assert_eq!(b.value(bias).data(), &[0.5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let dir = std::env::temp_dir().join("rtgcn_param_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.rtgp");
+        let mut a = ParamStore::new();
+        a.add("w", Tensor::zeros([3]));
+        a.save(&path).unwrap();
+        let mut b = ParamStore::new();
+        b.add("w", Tensor::zeros([4]));
+        assert!(b.load(&path).is_err());
+        let mut c = ParamStore::new();
+        c.add("other", Tensor::zeros([3]));
+        assert!(c.load(&path).is_err(), "unknown name must be rejected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("rtgcn_param_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.bin");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::zeros([1]));
+        assert!(s.load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiple_bindings_of_same_param_accumulate() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(3.0));
+        let mut tape = Tape::new();
+        let w1 = store.bind(&mut tape, w);
+        let w2 = store.bind(&mut tape, w);
+        let prod = tape.mul(w1, w2); // w * w, but through two independent leaves
+        let loss = tape.sum_all(prod);
+        tape.backward(loss);
+        store.absorb_grads(&tape);
+        // d(w²)/dw = 2w = 6 when both leaves route back to the same param.
+        assert_eq!(store.grad(w).item(), 6.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Shape utilities: dimension bookkeeping, row-major strides and NumPy-style
+//! broadcasting used by every tensor op in the workspace.
+
+use std::fmt;
+
+/// A tensor shape (row-major). Thin wrapper over `Vec<usize>` so that shape
+/// logic (strides, broadcasting, element counts) lives in one place.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size along dimension `d`. Panics if out of range.
+    #[inline]
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Whether two shapes are broadcast-compatible (aligned from the right,
+    /// each pair of dims equal or one of them 1).
+    pub fn broadcast_compatible(&self, other: &Shape) -> bool {
+        self.broadcast_with(other).is_some()
+    }
+
+    /// The broadcast result shape of `self` and `other`, or `None` if they
+    /// are incompatible.
+    pub fn broadcast_with(&self, other: &Shape) -> Option<Shape> {
+        let r = self.rank().max(other.rank());
+        let mut out = vec![0; r];
+        for i in 0..r {
+            let a = dim_from_right(&self.0, i);
+            let b = dim_from_right(&other.0, i);
+            let d = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return None;
+            };
+            out[r - 1 - i] = d;
+        }
+        Some(Shape(out))
+    }
+
+    /// Flat (row-major) index for a multi-dimensional index. Debug-asserts
+    /// bounds.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut flat = 0;
+        let mut acc = 1;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            debug_assert!(idx[i] < d, "index {} out of bounds for dim {i} of size {d}", idx[i]);
+            flat += idx[i] * acc;
+            acc *= d;
+        }
+        flat
+    }
+
+    /// The dims as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[inline]
+fn dim_from_right(dims: &[usize], i: usize) -> usize {
+    if i < dims.len() {
+        dims[dims.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// Iterator over all multi-indices of a shape in row-major order. Used by
+/// generic broadcasting fallbacks (hot paths use specialised kernels).
+pub struct IndexIter {
+    dims: Vec<usize>,
+    cur: Vec<usize>,
+    done: bool,
+}
+
+impl IndexIter {
+    pub fn new(shape: &Shape) -> Self {
+        let done = shape.numel() == 0;
+        IndexIter { dims: shape.0.clone(), cur: vec![0; shape.rank()], done }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.cur.clone();
+        // advance odometer
+        let mut i = self.dims.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.cur[i] += 1;
+            if self.cur[i] < self.dims[i] {
+                break;
+            }
+            self.cur[i] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn flat_index_matches_strides() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.flat_index(&[0, 0, 0]), 0);
+        assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+        assert_eq!(s.flat_index(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    fn broadcasting_rules() {
+        let a = Shape::from([3, 1, 4]);
+        let b = Shape::from([2, 4]);
+        assert_eq!(a.broadcast_with(&b).unwrap().dims(), &[3, 2, 4]);
+        let c = Shape::from([3, 5]);
+        assert!(a.broadcast_with(&c).is_none());
+        // scalar broadcasts with anything
+        assert_eq!(Shape::scalar().broadcast_with(&a).unwrap().dims(), a.dims());
+    }
+
+    #[test]
+    fn index_iter_row_major_order() {
+        let s = Shape::from([2, 2]);
+        let idxs: Vec<_> = IndexIter::new(&s).collect();
+        assert_eq!(idxs, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn index_iter_scalar_yields_one() {
+        let idxs: Vec<_> = IndexIter::new(&Shape::scalar()).collect();
+        assert_eq!(idxs, vec![Vec::<usize>::new()]);
+    }
+}

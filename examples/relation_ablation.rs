@@ -1,0 +1,48 @@
+//! Relation-family ablation (paper Table VI in miniature): train RT-GCN (T)
+//! with wiki-only, industry-only and combined relations on the same market
+//! and compare revenue — quantifying how much each relation source is worth.
+//!
+//! ```sh
+//! cargo run --release --example relation_ablation
+//! ```
+
+use rtgcn::core::{RtGcn, RtGcnConfig, StockRanker, Strategy};
+use rtgcn::eval::{backtest, fmt_opt, Table};
+use rtgcn::market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
+
+fn main() {
+    let mut spec = UniverseSpec::of(Market::Nasdaq, Scale::Small);
+    spec.stocks = 60;
+    spec.train_days = 250;
+    spec.test_days = 50;
+    let ds = StockDataset::generate(spec, 5);
+
+    let mut table = Table::new(["Relations", "Pairs", "Types", "MRR", "IRR-1", "IRR-5"]);
+    for (kind, label) in [
+        (RelationKind::Wiki, "wiki only"),
+        (RelationKind::Industry, "industry only"),
+        (RelationKind::Both, "wiki + industry"),
+    ] {
+        let relations = ds.relations(kind);
+        println!(
+            "training with {label}: {} related pairs, {} types...",
+            relations.num_related_pairs(),
+            relations.num_types()
+        );
+        let cfg = RtGcnConfig { epochs: 4, ..RtGcnConfig::with_strategy(Strategy::TimeSensitive) };
+        let mut model = RtGcn::new(cfg, &relations, 5);
+        model.fit(&ds);
+        let out = backtest(&mut model, &ds, &[1, 5], 5);
+        table.add_row([
+            label.to_string(),
+            relations.num_related_pairs().to_string(),
+            relations.num_types().to_string(),
+            fmt_opt(out.mrr, 3),
+            fmt_opt(out.irr.get(&1).copied(), 2),
+            fmt_opt(out.irr.get(&5).copied(), 2),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!("paper's observation: industry relations (denser, ~5% of pairs) usually beat");
+    println!("the sparse wiki relations (~0.3%), and combining the two does best.");
+}

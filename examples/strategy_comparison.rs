@@ -1,0 +1,65 @@
+//! Compare the three relation-aware strategies (paper Section IV-B) on one
+//! market: uniform (Eq. 3), weighted (Eq. 4) and time-sensitive (Eq. 5),
+//! plus the relation-blind Rank_LSTM as reference — a miniature of the
+//! paper's core claim that relation-aware propagation, and especially its
+//! time-sensitive form, earns higher investment revenue.
+//!
+//! ```sh
+//! cargo run --release --example strategy_comparison
+//! ```
+
+use rtgcn::baselines::{LstmRanker, SeqConfig};
+use rtgcn::core::{RtGcn, RtGcnConfig, StockRanker, Strategy};
+use rtgcn::eval::{backtest, fmt_opt, Table};
+use rtgcn::market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
+
+fn main() {
+    let mut spec = UniverseSpec::of(Market::Nasdaq, Scale::Small);
+    spec.stocks = 60;
+    spec.train_days = 250;
+    spec.test_days = 50;
+    println!("generating NASDAQ-like universe: {} stocks...", spec.stocks);
+    let ds = StockDataset::generate(spec, 7);
+    let relations = ds.relations(RelationKind::Both);
+    println!(
+        "relations: {} pairs over {} types ({:.1}% ratio)\n",
+        relations.num_related_pairs(),
+        relations.num_types(),
+        100.0 * relations.relation_ratio()
+    );
+
+    let mut table = Table::new(["Model", "MRR", "IRR-1", "IRR-5", "IRR-10", "train s"]);
+
+    // Relation-blind reference.
+    let mut rank_lstm = LstmRanker::ranking(SeqConfig { epochs: 4, ..Default::default() }, 7);
+    let fit = rank_lstm.fit(&ds);
+    let out = backtest(&mut rank_lstm, &ds, &[1, 5, 10], 7);
+    table.add_row([
+        out.name.clone(),
+        fmt_opt(out.mrr, 3),
+        fmt_opt(out.irr.get(&1).copied(), 2),
+        fmt_opt(out.irr.get(&5).copied(), 2),
+        fmt_opt(out.irr.get(&10).copied(), 2),
+        format!("{:.1}", fit.train_secs),
+    ]);
+
+    for strategy in Strategy::ALL {
+        println!("training {} ...", strategy.label());
+        let cfg = RtGcnConfig { epochs: 4, ..RtGcnConfig::with_strategy(strategy) };
+        let mut model = RtGcn::new(cfg, &relations, 7);
+        let fit = model.fit(&ds);
+        let out = backtest(&mut model, &ds, &[1, 5, 10], 7);
+        table.add_row([
+            out.name.clone(),
+            fmt_opt(out.mrr, 3),
+            fmt_opt(out.irr.get(&1).copied(), 2),
+            fmt_opt(out.irr.get(&5).copied(), 2),
+            fmt_opt(out.irr.get(&10).copied(), 2),
+            format!("{:.1}", fit.train_secs),
+        ]);
+    }
+
+    println!("\n{}", table.render());
+    println!("expected shape (paper Table IV): U < W < T on most metrics,");
+    println!("and all three above the relation-blind Rank_LSTM.");
+}

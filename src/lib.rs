@@ -1,0 +1,18 @@
+//! # rtgcn — umbrella crate
+//!
+//! Re-exports the full public API of the RT-GCN reproduction workspace so
+//! downstream users can depend on a single crate:
+//!
+//! - [`tensor`] — dense tensors + reverse-mode autodiff + optimisers
+//! - [`graph`] — multi-relational graph substrate and adjacency strategies
+//! - [`market`] — synthetic market data, features, relations, datasets
+//! - [`core`] — the RT-GCN model (paper's contribution)
+//! - [`baselines`] — every comparator model from the paper's evaluation
+//! - [`eval`] — backtesting, MRR/IRR metrics, Wilcoxon significance tests
+
+pub use rtgcn_baselines as baselines;
+pub use rtgcn_core as core;
+pub use rtgcn_eval as eval;
+pub use rtgcn_graph as graph;
+pub use rtgcn_market as market;
+pub use rtgcn_tensor as tensor;

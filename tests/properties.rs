@@ -1,0 +1,159 @@
+//! Cross-crate property-based tests (proptest): invariants of the autodiff
+//! engine, graph normalisation, metrics and significance tests that must
+//! hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use rtgcn::eval::{cumulative_irr, daily_topk_return, rank_of, reciprocal_rank, top_k_indices};
+use rtgcn::eval::{signed_rank_from_diffs, Alternative};
+use rtgcn::graph::{renormalize_uniform, RelationTensor};
+use rtgcn::tensor::{Shape, Tape, Tensor};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Softmax rows always sum to 1 and stay in [0, 1].
+    #[test]
+    fn softmax_is_a_distribution(data in finite_vec(2..40)) {
+        let n = data.len();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::new([1, n], data));
+        let y = tape.softmax(x);
+        let yd = tape.value(y);
+        let sum: f32 = yd.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(yd.data().iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+    }
+
+    /// broadcast_to followed by reduce_to is the adjoint pair: reducing the
+    /// broadcast of x must give x scaled by the broadcast multiplicity.
+    #[test]
+    fn broadcast_reduce_adjoint(rows in 1usize..5, cols in 1usize..5, data in finite_vec(1..5)) {
+        let c = data.len().min(4);
+        let x = Tensor::new([1, c], data[..c].to_vec());
+        let target = Shape::from(vec![rows, c]);
+        let b = x.broadcast_to(&target);
+        let r = b.reduce_to(x.shape());
+        for i in 0..c {
+            prop_assert!((r.data()[i] - rows as f32 * x.data()[i]).abs() < 1e-3);
+        }
+        let _ = cols;
+    }
+
+    /// Σ grad of sum_all is exactly 1 everywhere, for any shape.
+    #[test]
+    fn sum_gradient_is_ones(data in finite_vec(1..60)) {
+        let n = data.len();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(data));
+        let s = tape.sum_all(x);
+        tape.backward(s);
+        let g = tape.grad(x).unwrap();
+        prop_assert!(g.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        prop_assert_eq!(g.numel(), n);
+    }
+
+    /// Kipf-Welling renormalisation of any symmetric binary graph yields
+    /// finite weights and symmetric output.
+    #[test]
+    fn renormalisation_finite_and_symmetric(
+        n in 2usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..30),
+    ) {
+        let mut rel = RelationTensor::new(n, 1);
+        for (i, j) in edges {
+            let (i, j) = (i % n, j % n);
+            if i != j {
+                rel.connect(i, j, 0);
+            }
+        }
+        let adj = renormalize_uniform(n, &rel.directed_edges());
+        prop_assert!(adj.weights.iter().all(|w| w.is_finite()));
+        let dense = adj.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((dense.at(&[i, j]) - dense.at(&[j, i])).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// top_k returns distinct indices whose scores dominate the rest.
+    #[test]
+    fn top_k_dominates_rest(scores in finite_vec(1..40), k in 1usize..10) {
+        let picks = top_k_indices(&scores, k);
+        let k_eff = k.min(scores.len());
+        prop_assert_eq!(picks.len(), k_eff);
+        let mut sorted = picks.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), picks.len(), "indices distinct");
+        let worst_pick = picks.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+        for (i, &s) in scores.iter().enumerate() {
+            if !picks.contains(&i) {
+                prop_assert!(s <= worst_pick + 1e-6);
+            }
+        }
+    }
+
+    /// Reciprocal rank is in (0, 1] and is 1 iff the argmax stocks agree.
+    #[test]
+    fn reciprocal_rank_bounds(pred in finite_vec(2..30), seed in 0u64..100) {
+        let n = pred.len();
+        let truth: Vec<f32> = (0..n).map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f32 / 500.0 - 1.0).collect();
+        let rr = reciprocal_rank(&pred, &truth);
+        prop_assert!(rr > 0.0 && rr <= 1.0);
+        let best_true = top_k_indices(&truth, 1)[0];
+        if rank_of(&pred, best_true) == 1 {
+            prop_assert_eq!(rr, 1.0);
+        }
+    }
+
+    /// Cumulative IRR of k=N (whole market) equals the sum of daily market
+    /// means regardless of prediction order.
+    #[test]
+    fn irr_whole_market_is_order_invariant(truth in finite_vec(2..20), pred in finite_vec(2..20)) {
+        let n = truth.len().min(pred.len());
+        let (t, p) = (&truth[..n], &pred[..n]);
+        let all = daily_topk_return(p, t, n);
+        let mean = t.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        prop_assert!((all - mean).abs() < 1e-6);
+        let series = cumulative_irr(&[all, all]);
+        prop_assert!((series[1] - 2.0 * all).abs() < 1e-9);
+    }
+
+    /// Wilcoxon p-values are always in [0, 1] and monotone in the obvious
+    /// direction: shifting all diffs up cannot increase the one-sided p.
+    #[test]
+    fn wilcoxon_p_bounds_and_shift(diffs in proptest::collection::vec(-5.0f64..5.0, 3..20)) {
+        let base = signed_rank_from_diffs(&diffs, Alternative::Greater);
+        prop_assert!((0.0..=1.0).contains(&base.p_value));
+        let shifted: Vec<f64> = diffs.iter().map(|d| d + 10.0).collect();
+        let up = signed_rank_from_diffs(&shifted, Alternative::Greater);
+        prop_assert!(up.p_value <= base.p_value + 1e-9);
+    }
+
+    /// Causal convolution never leaks the future: truncating the input to a
+    /// prefix leaves the matching output prefix unchanged.
+    #[test]
+    fn conv_causality(data in finite_vec(8..24), kernel in 1usize..4) {
+        use rtgcn::tensor::ConvSpec;
+        let l = data.len();
+        let spec = ConvSpec::new(kernel, 1, 1);
+        let w: Vec<f32> = (0..kernel).map(|i| 0.3 * (i as f32 + 1.0)).collect();
+        let run = |xs: &[f32]| -> Vec<f32> {
+            let mut tape = Tape::new();
+            let x = tape.leaf(Tensor::new([1, 1, xs.len()], xs.to_vec()));
+            let wv = tape.leaf(Tensor::new([1, 1, kernel], w.clone()));
+            let b = tape.leaf(Tensor::zeros([1]));
+            let y = tape.conv1d_causal(x, wv, b, spec);
+            tape.value(y).data().to_vec()
+        };
+        let full = run(&data);
+        let half = run(&data[..l / 2]);
+        for i in 0..l / 2 {
+            prop_assert!((full[i] - half[i]).abs() < 1e-4, "leak at step {i}");
+        }
+    }
+}
