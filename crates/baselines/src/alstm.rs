@@ -191,6 +191,7 @@ impl StockRanker for ALstm {
             train_secs: t0.elapsed().as_secs_f64(),
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
+            ..FitReport::default()
         }
     }
 

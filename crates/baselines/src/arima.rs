@@ -63,6 +63,9 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
+            // `k` reads row `col` while mutating row `row`; an iterator form
+            // would need split_at_mut gymnastics for no clarity gain.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }
@@ -225,6 +228,7 @@ impl StockRanker for Arima {
             train_secs: t0.elapsed().as_secs_f64(),
             final_loss: f32::NAN,
             epoch_losses: Vec::new(),
+            ..FitReport::default()
         }
     }
 

@@ -102,6 +102,7 @@ impl StockRanker for LstmRanker {
             train_secs: t0.elapsed().as_secs_f64(),
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
+            ..FitReport::default()
         }
     }
 

@@ -193,6 +193,7 @@ impl StockRanker for Rsr {
             train_secs: t0.elapsed().as_secs_f64(),
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
+            ..FitReport::default()
         }
     }
 

@@ -20,7 +20,7 @@ struct SpeedRow {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let (args, _telemetry) = HarnessArgs::init("fig5_speed");
     // One epoch is enough to measure throughput.
     let common = CommonConfig { epochs: 1, ..Default::default() };
     let roster = [
@@ -36,6 +36,7 @@ fn main() {
         let mut rows = Vec::new();
         for s in &roster {
             eprintln!("[fig5] {}: timing {}", market.name(), s.name());
+            rtgcn_bench::begin_model_scope(&s.name());
             let mut model = s.build(&ds, &common, RelationKind::Both, args.base_seed);
             let fit = model.fit(&ds);
             let outcome = backtest(model.as_mut(), &ds, &[5], args.base_seed);
@@ -73,7 +74,7 @@ fn main() {
             );
         }
         let path = format!("{}/fig5_{}.json", args.out_dir, market.name().to_lowercase());
-        write_json(&path, &rows).expect("write artifact");
+        write_json(&path, &rows).unwrap_or_else(|e| rtgcn_bench::harness_error("fig5_speed", &e));
         eprintln!("[fig5] wrote {path}");
     }
 }

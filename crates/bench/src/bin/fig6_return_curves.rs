@@ -49,7 +49,7 @@ fn ascii_chart(series: &[(String, Vec<f64>)], width: usize, height: usize) {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let (args, _telemetry) = HarnessArgs::init("fig6_return_curves");
     let common = CommonConfig { epochs: args.epochs, ..Default::default() };
 
     for &market in &args.markets {
@@ -61,6 +61,7 @@ fn main() {
         for strategy in Strategy::ALL {
             let s = Spec::Gcn(strategy);
             eprintln!("[fig6] {}: {}", market.name(), s.name());
+            rtgcn_bench::begin_model_scope(&s.name());
             let mut model = s.build(&ds, &common, RelationKind::Both, args.base_seed);
             model.fit(&ds);
             let outcome = backtest(model.as_mut(), &ds, &KS, args.base_seed);
@@ -105,7 +106,7 @@ fn main() {
             curves,
         };
         let path = format!("{}/fig6_{}.json", args.out_dir, market.name().to_lowercase());
-        write_json(&path, &artifact).expect("write artifact");
+        write_json(&path, &artifact).unwrap_or_else(|e| rtgcn_bench::harness_error("fig6_return_curves", &e));
         eprintln!("[fig6] wrote {path}");
     }
 }

@@ -54,7 +54,7 @@ fn run_point(
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let (args, _telemetry) = HarnessArgs::init("fig7_hyperparams");
     let base = CommonConfig { epochs: args.epochs, ..Default::default() };
     let seeds = args.seed_list();
 
@@ -121,7 +121,7 @@ fn main() {
         println!("(g-i) balancing parameter alpha:\n{}", a_table.render());
 
         let path = format!("{}/fig7_{}.json", args.out_dir, market.name().to_lowercase());
-        write_json(&path, &artifact).expect("write artifact");
+        write_json(&path, &artifact).unwrap_or_else(|e| rtgcn_bench::harness_error("fig7_hyperparams", &e));
         eprintln!("[fig7] wrote {path}");
     }
 }

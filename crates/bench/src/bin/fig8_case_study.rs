@@ -28,7 +28,7 @@ struct CaseArtifact {
 }
 
 fn main() {
-    let mut args = HarnessArgs::from_env();
+    let (mut args, _telemetry) = HarnessArgs::init("fig8_case_study");
     args.markets = vec![rtgcn_market::Market::Nasdaq];
     let spec = UniverseSpec::of(rtgcn_market::Market::Nasdaq, args.scale);
     let ds = StockDataset::generate(spec, args.base_seed);
@@ -121,6 +121,6 @@ fn main() {
 
     let artifact = CaseArtifact { stocks, days: test_days, predicted, actual, edges: edge_weights };
     let path = format!("{}/fig8_case_study.json", args.out_dir);
-    write_json(&path, &artifact).expect("write artifact");
+    write_json(&path, &artifact).unwrap_or_else(|e| rtgcn_bench::harness_error("fig8_case_study", &e));
     eprintln!("[fig8] wrote {path}");
 }

@@ -8,7 +8,7 @@ use rtgcn_eval::Table;
 use rtgcn_market::{StockDataset, UniverseSpec};
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let (args, _telemetry) = HarnessArgs::init("table2_dataset_stats");
     let mut table =
         Table::new(["Market", "Stocks", "Training days", "Testing days", "Total sim days"]);
     for &market in &args.markets {

@@ -7,7 +7,7 @@ use rtgcn_eval::Table;
 use rtgcn_market::{StockDataset, UniverseSpec};
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let (args, _telemetry) = HarnessArgs::init("table3_relation_stats");
     let mut table = Table::new([
         "Market",
         "Wiki types",

@@ -10,7 +10,7 @@ use rtgcn_market::{RelationKind, StockDataset, UniverseSpec};
 const KS: [usize; 3] = [1, 5, 10];
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let (args, _telemetry) = HarnessArgs::init("table4_baselines");
     let common = CommonConfig { epochs: args.epochs, ..Default::default() };
     let seeds = args.seed_list();
     let roster = Spec::table4_roster();
@@ -51,25 +51,23 @@ fn main() {
         // Improvement + significance of RT-GCN (T) vs strongest baseline.
         let ours = rows.last().expect("roster ends with RT-GCN (T)");
         let mut imp = Table::new(["Metric", "Strongest baseline", "RT-GCN (T)", "Improvement", "p-value"]);
-        let metrics: Vec<(String, Box<dyn Fn(&ModelRow) -> Option<f64>>, Vec<f64>, Vec<f64>)> = {
-            let mut v: Vec<(String, Box<dyn Fn(&ModelRow) -> Option<f64>>, Vec<f64>, Vec<f64>)> =
-                vec![(
-                    "MRR".to_string(),
-                    Box::new(|r: &ModelRow| r.mrr),
-                    ours.mrr_samples.clone(),
-                    vec![],
-                )];
+        type Metric = (String, Box<dyn Fn(&ModelRow) -> Option<f64>>, Vec<f64>);
+        let metrics: Vec<Metric> = {
+            let mut v: Vec<Metric> = vec![(
+                "MRR".to_string(),
+                Box::new(|r: &ModelRow| r.mrr),
+                ours.mrr_samples.clone(),
+            )];
             for k in KS {
                 v.push((
                     format!("IRR-{k}"),
                     Box::new(move |r: &ModelRow| r.irr.get(&k).copied()),
                     ours.irr_samples[&k].clone(),
-                    vec![],
                 ));
             }
             v
         };
-        for (label, metric, ours_samples, _) in metrics {
+        for (label, metric, ours_samples) in metrics {
             let Some(best) = strongest_baseline(&rows, &metric) else { continue };
             let best_samples = if label == "MRR" {
                 best.mrr_samples.clone()
@@ -100,7 +98,7 @@ fn main() {
             );
         }
         let path = format!("{}/table4_{}.json", args.out_dir, market.name().to_lowercase());
-        write_json(&path, &rows).expect("write artifact");
+        write_json(&path, &rows).unwrap_or_else(|e| rtgcn_bench::harness_error("table4_baselines", &e));
         eprintln!("[table4] wrote {path}");
     }
 }

@@ -14,7 +14,7 @@ use rtgcn_market::{Market, RelationKind, StockDataset, UniverseSpec};
 const KS: [usize; 2] = [5, 10];
 
 fn main() {
-    let mut args = HarnessArgs::from_env();
+    let (mut args, _telemetry) = HarnessArgs::init("table5_published_setting");
     // Table V covers NASDAQ-II and NYSE-II only.
     args.markets.retain(|m| matches!(m, Market::Nasdaq | Market::Nyse));
     let common = CommonConfig { epochs: args.epochs, ..Default::default() };
@@ -78,7 +78,7 @@ fn main() {
         );
         println!("{}", table.render());
         let path = format!("{}/table5_{}.json", args.out_dir, market.name().to_lowercase());
-        write_json(&path, &rows).expect("write artifact");
+        write_json(&path, &rows).unwrap_or_else(|e| rtgcn_bench::harness_error("table5_published_setting", &e));
         eprintln!("[table5] wrote {path}");
     }
 }

@@ -11,7 +11,7 @@ use rtgcn_market::{Market, RelationKind, StockDataset, UniverseSpec};
 const KS: [usize; 3] = [1, 5, 10];
 
 fn main() {
-    let mut args = HarnessArgs::from_env();
+    let (mut args, _telemetry) = HarnessArgs::init("table6_relation_types");
     // CSI has no wiki relations; the paper runs this on NASDAQ and NYSE.
     args.markets.retain(|m| matches!(m, Market::Nasdaq | Market::Nyse));
     let common = CommonConfig { epochs: args.epochs, ..Default::default() };
@@ -53,7 +53,7 @@ fn main() {
             println!("{}", table.render());
         }
         let path = format!("{}/table6_{}.json", args.out_dir, market.name().to_lowercase());
-        write_json(&path, &artifacts).expect("write artifact");
+        write_json(&path, &artifacts).unwrap_or_else(|e| rtgcn_bench::harness_error("table6_relation_types", &e));
         eprintln!("[table6] wrote {path}");
     }
 }

@@ -11,7 +11,7 @@ use rtgcn_market::{RelationKind, StockDataset, UniverseSpec};
 const KS: [usize; 3] = [1, 5, 10];
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let (args, _telemetry) = HarnessArgs::init("table7_module_ablation");
     let common = CommonConfig { epochs: args.epochs, ..Default::default() };
     let seeds = args.seed_list();
     let roster = [Spec::Gcn(Strategy::Uniform), Spec::RConv, Spec::TConv];
@@ -41,7 +41,7 @@ fn main() {
         );
         println!("{}", table.render());
         let path = format!("{}/table7_{}.json", args.out_dir, market.name().to_lowercase());
-        write_json(&path, &rows).expect("write artifact");
+        write_json(&path, &rows).unwrap_or_else(|e| rtgcn_bench::harness_error("table7_module_ablation", &e));
         eprintln!("[table7] wrote {path}");
     }
 }

@@ -1,7 +1,11 @@
 //! Tiny hand-rolled CLI shared by every experiment harness (keeps the
-//! dependency set inside the allowed list — no clap).
+//! dependency set inside the allowed list — no clap), plus the shared
+//! telemetry bootstrap: every harness gets a JSONL sink under the log
+//! directory and a span-tree summary on exit via [`HarnessArgs::init`].
 
 use rtgcn_market::{Market, Scale};
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Options common to all harness binaries.
 #[derive(Clone, Debug)]
@@ -16,6 +20,8 @@ pub struct HarnessArgs {
     pub markets: Vec<Market>,
     /// Output directory for JSON artifacts.
     pub out_dir: String,
+    /// Telemetry JSONL directory (`--logs`). Default: `<out_dir>/logs`.
+    pub logs_dir: Option<String>,
     /// Base RNG seed.
     pub base_seed: u64,
 }
@@ -28,8 +34,33 @@ impl Default for HarnessArgs {
             epochs: 4,
             markets: Market::ALL.to_vec(),
             out_dir: "results".into(),
+            logs_dir: None,
             base_seed: 7,
         }
+    }
+}
+
+/// (harness name, resolved logs dir) for the running binary, set once by
+/// [`HarnessArgs::init`]. The runner reads this to swap per-model JSONL
+/// sinks without threading the context through every call signature.
+static HARNESS_CTX: OnceLock<(String, PathBuf)> = OnceLock::new();
+
+/// The single structured error path every `src/bin/*` shares: an event in
+/// the JSONL stream, a `error[<harness>]:`-prefixed line on stderr, and a
+/// nonzero exit so shell pipelines (run_experiments.sh) stop on failure.
+pub fn harness_error(harness: &str, err: &dyn std::fmt::Display) -> ! {
+    rtgcn_telemetry::warn("harness.error", &format!("{harness}: {err}"));
+    eprintln!("error[{harness}]: {err}");
+    std::process::exit(2);
+}
+
+/// Begin a per-model telemetry scope: flushes the previous model's
+/// aggregates and points the JSONL sink at
+/// `<logs>/run-<harness>-<model>.jsonl`. No-op before [`HarnessArgs::init`]
+/// (library tests and benches run without a sink).
+pub fn begin_model_scope(model: &str) {
+    if let Some((harness, dir)) = HARNESS_CTX.get() {
+        rtgcn_telemetry::begin_model_run(dir, harness, model);
     }
 }
 
@@ -44,8 +75,8 @@ fn parse_market(s: &str) -> Option<Market> {
 
 impl HarnessArgs {
     /// Parse `--scale`, `--seeds`, `--epochs`, `--markets a,b`, `--out`,
-    /// `--seed`. Unknown flags abort with usage (fail fast beats silently
-    /// running the wrong experiment).
+    /// `--logs`, `--seed`. Unknown flags abort with usage (fail fast beats
+    /// silently running the wrong experiment).
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
@@ -77,6 +108,7 @@ impl HarnessArgs {
                         .collect::<Result<_, _>>()?;
                 }
                 "--out" => out.out_dir = value("--out")?,
+                "--logs" => out.logs_dir = Some(value("--logs")?),
                 "--seed" => {
                     out.base_seed =
                         value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
@@ -84,7 +116,8 @@ impl HarnessArgs {
                 other => {
                     return Err(format!(
                         "unknown flag {other:?}\nusage: [--scale small|medium|paper] [--seeds N] \
-                         [--epochs N] [--markets nasdaq,nyse,csi] [--out DIR] [--seed N]"
+                         [--epochs N] [--markets nasdaq,nyse,csi] [--out DIR] [--logs DIR] \
+                         [--seed N]"
                     ))
                 }
             }
@@ -95,15 +128,29 @@ impl HarnessArgs {
         Ok(out)
     }
 
-    /// Parse from the process environment, exiting with usage on error.
-    pub fn from_env() -> Self {
-        match Self::parse(std::env::args().skip(1)) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("{e}");
-                std::process::exit(2);
-            }
+    /// Resolved telemetry log directory: `--logs` if given, else
+    /// `<out_dir>/logs`.
+    pub fn logs_dir(&self) -> PathBuf {
+        match &self.logs_dir {
+            Some(d) => PathBuf::from(d),
+            None => PathBuf::from(&self.out_dir).join("logs"),
         }
+    }
+
+    /// Parse from the process environment and bootstrap telemetry. On a bad
+    /// flag this routes through [`harness_error`] (named harness, nonzero
+    /// exit). Returns the parsed args plus the [`rtgcn_telemetry::Telemetry`]
+    /// guard — keep it alive for the whole `main` so the summary and JSONL
+    /// flush fire on exit.
+    pub fn init(harness: &str) -> (Self, rtgcn_telemetry::Telemetry) {
+        let args = match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => harness_error(harness, &e),
+        };
+        let logs = args.logs_dir();
+        let guard = rtgcn_telemetry::init_harness(harness, &logs);
+        let _ = HARNESS_CTX.set((harness.to_string(), logs));
+        (args, guard)
     }
 
     /// The seed list for repetition `0..seeds`.
@@ -141,6 +188,14 @@ mod tests {
         assert_eq!(a.markets, vec![Market::Csi, Market::Nasdaq]);
         assert_eq!(a.out_dir, "/tmp/x");
         assert_eq!(a.seed_list()[1], 1099);
+    }
+
+    #[test]
+    fn logs_dir_defaults_under_out_dir() {
+        let a = parse(&["--out", "/tmp/x"]).unwrap();
+        assert_eq!(a.logs_dir(), PathBuf::from("/tmp/x/logs"));
+        let b = parse(&["--out", "/tmp/x", "--logs", "/var/log/rtgcn"]).unwrap();
+        assert_eq!(b.logs_dir(), PathBuf::from("/var/log/rtgcn"));
     }
 
     #[test]

@@ -12,6 +12,6 @@ pub mod cli;
 pub mod models;
 pub mod runner;
 
-pub use cli::HarnessArgs;
+pub use cli::{begin_model_scope, harness_error, HarnessArgs};
 pub use models::Spec;
 pub use runner::{aggregate, evaluate, run_seeds, strongest_baseline, ModelRow, SeedRun};

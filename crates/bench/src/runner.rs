@@ -41,9 +41,13 @@ pub fn run_seeds(
     seeds: &[u64],
     ks: &[usize],
 ) -> Vec<SeedRun> {
+    // Each model gets its own JSONL file (run-<harness>-<model>.jsonl) and a
+    // fresh aggregate registry, so per-model stats stand alone.
+    crate::cli::begin_model_scope(&spec.name());
     seeds
         .iter()
         .map(|&seed| {
+            let _seed_span = rtgcn_telemetry::span("seed");
             let mut model = spec.build(ds, common, relation_kind, seed);
             let fit = model.fit(ds);
             let outcome = backtest(model.as_mut(), ds, ks, seed);
@@ -94,10 +98,10 @@ pub fn evaluate(
 }
 
 /// The strongest baseline for a metric: highest mean among non-"Ours" rows.
-pub fn strongest_baseline<'a>(
-    rows: &'a [ModelRow],
+pub fn strongest_baseline(
+    rows: &[ModelRow],
     metric: impl Fn(&ModelRow) -> Option<f64>,
-) -> Option<&'a ModelRow> {
+) -> Option<&ModelRow> {
     rows.iter()
         .filter(|r| r.category != "Ours")
         .filter_map(|r| metric(r).map(|v| (r, v)))

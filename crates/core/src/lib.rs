@@ -32,5 +32,5 @@ pub mod strategy;
 
 pub use config::{RtGcnConfig, Strategy};
 pub use model::RtGcn;
-pub use ranker::{FitReport, StockRanker};
+pub use ranker::{FitReport, PhaseSecs, StockRanker};
 pub use strategy::StrategyCtx;

@@ -5,12 +5,43 @@
 
 use crate::config::RtGcnConfig;
 use crate::layers::{RelationalConv, TemporalConvBlock};
+use crate::ranker::PhaseSecs;
 use crate::strategy::StrategyCtx;
 use rand::rngs::StdRng;
 use rtgcn_graph::RelationTensor;
 use rtgcn_tensor::{
     clip_grad_norm, init, ConvSpec, Optimizer, ParamId, ParamStore, Tape, Tensor, Var,
 };
+use std::time::Instant;
+
+/// Nanosecond accumulators behind [`PhaseSecs`]. Always ticking (plain
+/// `Instant` reads, independent of the telemetry level) so `FitReport`
+/// carries a breakdown even with `RTGCN_LOG=off`.
+#[derive(Clone, Copy, Default)]
+struct PhaseClock {
+    relational_ns: u64,
+    temporal_ns: u64,
+    loss_ns: u64,
+    backward_ns: u64,
+    optim_ns: u64,
+}
+
+impl PhaseClock {
+    fn secs(&self) -> PhaseSecs {
+        let s = |ns: u64| ns as f64 / 1e9;
+        PhaseSecs {
+            relational: s(self.relational_ns),
+            temporal: s(self.temporal_ns),
+            loss: s(self.loss_ns),
+            backward: s(self.backward_ns),
+            optim: s(self.optim_ns),
+        }
+    }
+}
+
+fn elapsed_ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// A ready-to-train RT-GCN over a fixed stock universe and relation tensor.
 pub struct RtGcn {
@@ -23,6 +54,7 @@ pub struct RtGcn {
     fc_b: ParamId,
     rng: StdRng,
     n_stocks: usize,
+    phases: PhaseClock,
 }
 
 impl RtGcn {
@@ -75,11 +107,22 @@ impl RtGcn {
             fc_b,
             rng,
             n_stocks: relations.num_stocks(),
+            phases: PhaseClock::default(),
         }
     }
 
     pub fn n_stocks(&self) -> usize {
         self.n_stocks
+    }
+
+    /// Zero the per-phase wall-clock accumulators (start of a fit).
+    pub fn reset_phase_clock(&mut self) {
+        self.phases = PhaseClock::default();
+    }
+
+    /// Per-phase wall-clock breakdown accumulated since the last reset.
+    pub fn phase_secs(&self) -> PhaseSecs {
+        self.phases.secs()
     }
 
     /// Trainable scalar count (for the speed-comparison context).
@@ -121,10 +164,15 @@ impl RtGcn {
         let (mut rel_i, mut tcn_i) = (0usize, 0usize);
         for _layer in 0..self.config.layers {
             if self.config.use_relational {
+                let _span = rtgcn_telemetry::span("relational");
+                let t = Instant::now();
                 xs = self.rel_convs[rel_i].forward(tape, &self.store, &self.ctx, &xs);
+                self.phases.relational_ns += elapsed_ns(t);
                 rel_i += 1;
             }
             if self.config.use_temporal {
+                let _span = rtgcn_telemetry::span("temporal");
+                let t = Instant::now();
                 let stacked = tape.stack0(&xs); // (T, N, C)
                 let nct = tape.permute3(stacked, [1, 2, 0]); // (N, C, T)
                 let out =
@@ -140,6 +188,7 @@ impl RtGcn {
                         tape.reshape(plane, [n, c])
                     })
                     .collect();
+                self.phases.temporal_ns += elapsed_ns(t);
             }
         }
         // Average pooling over the remaining temporal dimension (stride = H).
@@ -164,12 +213,28 @@ impl RtGcn {
     pub fn train_step(&mut self, x: &Tensor, y: &Tensor, opt: &mut dyn Optimizer) -> f32 {
         let mut tape = Tape::new();
         let scores = self.forward(&mut tape, x, true);
-        let loss = tape.combined_rank_loss(scores, y, self.config.alpha);
-        let loss_val = tape.value(loss).item();
-        tape.backward(loss);
-        self.store.absorb_grads(&tape);
-        clip_grad_norm(&mut self.store, 5.0);
-        opt.step(&mut self.store);
+        let (loss, loss_val) = {
+            let _span = rtgcn_telemetry::span("loss");
+            let t = Instant::now();
+            let loss = tape.combined_rank_loss(scores, y, self.config.alpha);
+            let loss_val = tape.value(loss).item();
+            self.phases.loss_ns += elapsed_ns(t);
+            (loss, loss_val)
+        };
+        {
+            let _span = rtgcn_telemetry::span("backward");
+            let t = Instant::now();
+            tape.backward(loss);
+            self.store.absorb_grads(&tape);
+            self.phases.backward_ns += elapsed_ns(t);
+        }
+        {
+            let _span = rtgcn_telemetry::span("optim");
+            let t = Instant::now();
+            clip_grad_norm(&mut self.store, 5.0);
+            opt.step(&mut self.store);
+            self.phases.optim_ns += elapsed_ns(t);
+        }
         loss_val
     }
 

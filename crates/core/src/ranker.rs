@@ -6,7 +6,31 @@
 use crate::model::RtGcn;
 use rtgcn_market::StockDataset;
 use rtgcn_tensor::Adam;
+use serde::Serialize;
 use std::time::Instant;
+
+/// Cumulative wall-clock seconds spent in each training phase across all
+/// epochs of a fit. RT-GCN fills every field; models without a comparable
+/// structure leave this at the all-zero default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct PhaseSecs {
+    /// Relational graph convolution (forward).
+    pub relational: f64,
+    /// Temporal convolution stack (forward).
+    pub temporal: f64,
+    /// Loss evaluation (combined regression + pairwise ranking).
+    pub loss: f64,
+    /// Reverse-mode sweep + gradient absorption.
+    pub backward: f64,
+    /// Gradient clipping + optimiser step.
+    pub optim: f64,
+}
+
+impl PhaseSecs {
+    pub fn total(&self) -> f64 {
+        self.relational + self.temporal + self.loss + self.backward + self.optim
+    }
+}
 
 /// Outcome of fitting a model (Figure 5's speed comparison reads the times).
 #[derive(Clone, Debug, Default)]
@@ -17,6 +41,10 @@ pub struct FitReport {
     pub final_loss: f32,
     /// Per-epoch mean losses.
     pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds per epoch (empty for single-shot fits).
+    pub epoch_secs: Vec<f64>,
+    /// Per-phase breakdown (all-zero for models that don't report phases).
+    pub phase_secs: PhaseSecs,
 }
 
 /// A model that ranks stocks by expected next-day return ratio.
@@ -51,22 +79,50 @@ impl StockRanker for RtGcn {
     }
 
     fn fit(&mut self, ds: &StockDataset) -> FitReport {
+        let _fit_span = rtgcn_telemetry::span("fit");
         let t0 = Instant::now();
         let mut opt = Adam::new(self.config.lr, self.config.lambda);
         let days = ds.train_end_days(self.config.t_steps);
+        if self.config.epochs == 0 {
+            rtgcn_telemetry::warn(
+                "fit.zero_epochs",
+                &format!("{}: fit called with epochs == 0; final_loss is NaN", self.name()),
+            );
+        }
+        if days.is_empty() && self.config.epochs > 0 {
+            rtgcn_telemetry::warn(
+                "fit.empty_split",
+                &format!(
+                    "{}: training split has no usable days for t_steps = {}; \
+                     epoch losses are NaN",
+                    self.name(),
+                    self.config.t_steps
+                ),
+            );
+        }
+        self.reset_phase_clock();
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut epoch_secs = Vec::with_capacity(self.config.epochs);
         for _epoch in 0..self.config.epochs {
+            let _epoch_span = rtgcn_telemetry::span("epoch");
+            let e0 = Instant::now();
             let mut acc = 0.0f64;
             for &day in &days {
                 let s = ds.sample(day, self.config.t_steps, self.config.n_features);
                 acc += self.train_step(&s.x, &s.y, &mut opt) as f64;
             }
-            epoch_losses.push((acc / days.len().max(1) as f64) as f32);
+            // An empty split yields NaN, not a silent 0.0 that would read as
+            // a perfectly converged model downstream.
+            let mean = if days.is_empty() { f32::NAN } else { (acc / days.len() as f64) as f32 };
+            epoch_losses.push(mean);
+            epoch_secs.push(e0.elapsed().as_secs_f64());
         }
         FitReport {
             train_secs: t0.elapsed().as_secs_f64(),
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
+            epoch_secs,
+            phase_secs: self.phase_secs(),
         }
     }
 
@@ -81,6 +137,10 @@ mod tests {
     use super::*;
     use crate::config::{RtGcnConfig, Strategy};
     use rtgcn_market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
+    use std::sync::Mutex;
+
+    /// Serialises tests that install/drain the global memory sink.
+    static SINK_GATE: Mutex<()> = Mutex::new(());
 
     fn tiny_dataset() -> StockDataset {
         let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
@@ -131,6 +191,76 @@ mod tests {
             report.epoch_losses.last().unwrap() <= report.epoch_losses.first().unwrap(),
             "losses {:?}",
             report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn zero_epoch_fit_reports_nan_and_warns() {
+        let _gate = SINK_GATE.lock().unwrap();
+        rtgcn_telemetry::set_level(rtgcn_telemetry::Level::Summary);
+        rtgcn_telemetry::install_memory_sink();
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut cfg = tiny_config(Strategy::Uniform);
+        cfg.epochs = 0;
+        let mut model = RtGcn::new(cfg, &relations, 9);
+        let report = model.fit(&ds);
+        assert!(report.final_loss.is_nan(), "epochs == 0 must yield NaN, got {}", report.final_loss);
+        assert!(report.epoch_losses.is_empty());
+        assert!(report.epoch_secs.is_empty());
+        let events = rtgcn_telemetry::drain_memory_sink().join("\n");
+        assert!(
+            events.contains("fit.zero_epochs"),
+            "expected fit.zero_epochs warning, got: {events}"
+        );
+    }
+
+    #[test]
+    fn empty_training_split_reports_nan_and_warns() {
+        let _gate = SINK_GATE.lock().unwrap();
+        rtgcn_telemetry::set_level(rtgcn_telemetry::Level::Summary);
+        rtgcn_telemetry::install_memory_sink();
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut cfg = tiny_config(Strategy::Uniform);
+        // Window longer than the training split → no usable end days.
+        cfg.t_steps = ds.spec.train_days + ds.spec.test_days + 10;
+        cfg.epochs = 2;
+        let mut model = RtGcn::new(cfg, &relations, 9);
+        let report = model.fit(&ds);
+        assert_eq!(report.epoch_losses.len(), 2);
+        assert!(
+            report.epoch_losses.iter().all(|l| l.is_nan()),
+            "empty split must yield NaN losses, not a silent 0.0: {:?}",
+            report.epoch_losses
+        );
+        assert!(report.final_loss.is_nan());
+        let events = rtgcn_telemetry::drain_memory_sink().join("\n");
+        assert!(
+            events.contains("fit.empty_split"),
+            "expected fit.empty_split warning, got: {events}"
+        );
+    }
+
+    #[test]
+    fn fit_report_carries_epoch_and_phase_timings() {
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut model = RtGcn::new(tiny_config(Strategy::Weighted), &relations, 3);
+        let report = model.fit(&ds);
+        assert_eq!(report.epoch_secs.len(), 2, "one wall-clock entry per epoch");
+        assert!(report.epoch_secs.iter().all(|&s| s > 0.0));
+        let p = report.phase_secs;
+        assert!(p.relational > 0.0, "relational phase untimed");
+        assert!(p.temporal > 0.0, "temporal phase untimed");
+        assert!(p.loss > 0.0, "loss phase untimed");
+        assert!(p.backward > 0.0, "backward phase untimed");
+        assert!(p.optim > 0.0, "optimiser phase untimed");
+        assert!(
+            p.total() <= report.train_secs * 1.05,
+            "phases ({}) cannot exceed total train time ({})",
+            p.total(),
+            report.train_secs
         );
     }
 

@@ -39,6 +39,7 @@ pub fn backtest(
     ks: &[usize],
     seed: u64,
 ) -> BacktestOutcome {
+    let _bt_span = rtgcn_telemetry::span("backtest");
     let days = ds.test_end_days();
     let n = ds.n_stocks();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xbac6_7e57);
@@ -46,7 +47,11 @@ pub fn backtest(
     let mut daily: BTreeMap<usize, Vec<f64>> = ks.iter().map(|&k| (k, Vec::new())).collect();
     let t0 = Instant::now();
     for &day in &days {
+        // Per-day scoring latency feeds the `backtest.day_score_ns` histogram
+        // (p50/p95/p99 in the summary sink and JSONL stream).
+        let s0 = Instant::now();
         let scores = model.scores_for_day(ds, day);
+        rtgcn_telemetry::record_ns("backtest.day_score_ns", s0.elapsed().as_nanos() as u64);
         assert_eq!(scores.len(), n, "model must score every stock");
         let truth: Vec<f32> = (0..n).map(|i| ds.realized_return(day, i)).collect();
         if model.can_rank() {

@@ -1,0 +1,50 @@
+//! Property-based tests that `top_k_indices` and `rank_of` agree on tie
+//! handling: both order by descending score with ascending index as the
+//! tiebreak, so the top-1 always has rank 1 and the ranks of the top-k
+//! prefix are exactly 1..=k in order.
+
+use proptest::prelude::*;
+use rtgcn_eval::{rank_of, top_k_indices};
+
+/// Score vectors engineered to contain ties: a handful of quantised levels.
+fn tied_scores() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((0u32..6).prop_map(|q| q as f32 * 0.25), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The first element of any top-k listing is the rank-1 item.
+    #[test]
+    fn top_one_has_rank_one(scores in tied_scores()) {
+        let top = top_k_indices(&scores, 1);
+        prop_assert_eq!(top.len(), 1);
+        prop_assert_eq!(rank_of(&scores, top[0]), 1);
+    }
+
+    /// The i-th entry of the top-k prefix has rank exactly i+1 — i.e. the
+    /// two functions induce the same total order, ties included.
+    #[test]
+    fn topk_prefix_ranks_are_consecutive(
+        (scores, k) in tied_scores().prop_flat_map(|s| {
+            let n = s.len();
+            (Just(s), 1usize..n + 1)
+        })
+    ) {
+        let top = top_k_indices(&scores, k);
+        prop_assert_eq!(top.len(), k.min(scores.len()));
+        let ranks: Vec<usize> = top.iter().map(|&i| rank_of(&scores, i)).collect();
+        let expected: Vec<usize> = (1..=ranks.len()).collect();
+        prop_assert_eq!(&ranks, &expected, "scores {:?} top {:?}", scores, top);
+    }
+
+    /// Ranks over the whole vector are a permutation of 1..=n even with
+    /// heavy ties (no two items share a rank).
+    #[test]
+    fn ranks_are_a_permutation(scores in tied_scores()) {
+        let mut ranks: Vec<usize> = (0..scores.len()).map(|i| rank_of(&scores, i)).collect();
+        ranks.sort_unstable();
+        let expected: Vec<usize> = (1..=scores.len()).collect();
+        prop_assert_eq!(ranks, expected);
+    }
+}

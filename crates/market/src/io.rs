@@ -63,7 +63,7 @@ pub fn parse_prices_csv(body: &str) -> std::io::Result<PriceTable> {
                 row.len()
             )));
         }
-        if row.iter().any(|&p| !(p > 0.0) || !p.is_finite()) {
+        if row.iter().any(|&p| !p.is_finite() || p <= 0.0) {
             return Err(io_err(format!("row {} contains non-positive price", lineno + 2)));
         }
         dates.push(date);

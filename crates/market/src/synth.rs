@@ -161,11 +161,11 @@ pub fn simulate(config: SynthConfig) -> MarketSim {
             // numerical safety.
             today[i] = r.clamp(-0.25, 0.25);
         }
-        for i in 0..n {
+        for (i, &t) in today.iter().enumerate() {
             let prev_p = prices.data()[(day - 1) * n + i];
-            let p = (prev_p * today[i].exp()).max(0.01);
+            let p = (prev_p * t.exp()).max(0.01);
             prices.data_mut()[day * n + i] = p;
-            returns.data_mut()[day * n + i] = today[i];
+            returns.data_mut()[day * n + i] = t;
         }
         prev_ret = today;
     }

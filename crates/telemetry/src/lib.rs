@@ -1,0 +1,692 @@
+//! `rtgcn-telemetry`: a zero-dependency tracing + metrics layer for the
+//! RT-GCN workspace (std + the in-repo `parking_lot`/`serde` shims only).
+//!
+//! Four primitives share one global registry:
+//!
+//! - **Spans** — hierarchical RAII timers. [`span`] pushes onto a
+//!   thread-local stack; dropping the guard records `(count, total, min,
+//!   max)` under the slash-joined path (`fit/epoch/relational`).
+//!   [`debug_span`] is identical but only active at [`Level::Debug`], which
+//!   is what the per-call tensor-kernel instrumentation uses so that
+//!   `RTGCN_LOG=off`/`summary` keep hot loops cheap.
+//! - **Counters** — named atomic `u64`s ([`count`], or a cached [`Counter`]
+//!   handle for hot paths).
+//! - **Histograms** — fixed log-spaced bucket latency histograms
+//!   ([`record_ns`]); percentiles are estimated as the upper bound of the
+//!   bucket containing the target rank.
+//! - **Warnings** — [`warn`] prints to stderr and emits a JSONL event; used
+//!   for degenerate-but-not-fatal conditions (zero-epoch fits, empty splits).
+//!
+//! Two sinks:
+//!
+//! - a human-readable **span-tree summary** rendered to stderr by
+//!   [`print_summary`] (and automatically when the [`Telemetry`] guard from
+//!   [`init_harness`] drops);
+//! - a machine-readable **JSONL event stream** ([`Event`] per line) written
+//!   through [`install_file_sink`] / [`install_memory_sink`].
+//!
+//! The level comes from `RTGCN_LOG=off|summary|debug` (default `off` for
+//! library/test use; [`init_harness`] defaults to `summary` when the
+//! variable is unset so experiment binaries are observable out of the box).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+// ---------------------------------------------------------------- levels
+
+/// Verbosity, ordered: `Off < Summary < Debug`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// All telemetry disabled; spans/counters are no-ops.
+    Off = 0,
+    /// Coarse spans (epochs, phases, per-day scoring), counters, warnings.
+    Summary = 1,
+    /// Everything, including per-call kernel spans.
+    Debug = 2,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(Level::Off),
+            "summary" | "1" | "info" => Some(Level::Summary),
+            "debug" | "2" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// Current level; reads `RTGCN_LOG` once and caches it in an atomic.
+#[inline]
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Summary,
+        2 => Level::Debug,
+        _ => init_level_from_env(Level::Off),
+    }
+}
+
+fn init_level_from_env(default: Level) -> Level {
+    let l = std::env::var("RTGCN_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(default);
+    LEVEL.store(l as u8, Ordering::Relaxed);
+    l
+}
+
+/// Force the level (tests, or programmatic override of `RTGCN_LOG`).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    level() >= l
+}
+
+// ---------------------------------------------------------------- registry
+
+#[derive(Clone, Copy, Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl SpanStat {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = if self.count == 1 { ns } else { self.min_ns.min(ns) };
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+struct Registry {
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        spans: Mutex::new(BTreeMap::new()),
+        counters: Mutex::new(BTreeMap::new()),
+        hists: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Clear all aggregated state (between per-model runs, and in tests).
+/// Counters are zeroed in place rather than removed so that [`Counter`]
+/// handles cached in hot paths (kernel call sites hold them in statics)
+/// keep feeding the registry after a reset. Histogram handles, by contrast,
+/// are re-looked-up per sample, so those entries are simply dropped.
+pub fn reset() {
+    let r = registry();
+    r.spans.lock().clear();
+    for c in r.counters.lock().values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    r.hists.lock().clear();
+}
+
+// ---------------------------------------------------------------- spans
+
+thread_local! {
+    /// Stack of active span paths on this thread.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    path: String,
+    start: Instant,
+}
+
+/// RAII span timer. Created by [`span`]/[`debug_span`]; records into the
+/// global registry on drop. Inactive guards (level too low) cost one atomic
+/// load and carry no clock read.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    const INACTIVE: SpanGuard = SpanGuard(None);
+
+    fn open(name: &str) -> SpanGuard {
+        let path = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let path = match s.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            s.push(path.clone());
+            path
+        });
+        SpanGuard(Some(ActiveSpan { path, start: Instant::now() }))
+    }
+
+    /// Elapsed time so far (zero for inactive guards).
+    pub fn elapsed(&self) -> Duration {
+        self.0.as_ref().map(|a| a.start.elapsed()).unwrap_or(Duration::ZERO)
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(ActiveSpan { path, start }) = self.0.take() else { return };
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop our own frame; tolerate out-of-order drops defensively.
+            if s.last() == Some(&path) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|p| p == &path) {
+                s.remove(pos);
+            }
+        });
+        registry().spans.lock().entry(path.clone()).or_default().record(ns);
+        if enabled(Level::Debug) {
+            emit(&Event::span(&path, 1, ns));
+        }
+    }
+}
+
+/// Open a span, active at `Summary` and above.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if enabled(Level::Summary) {
+        SpanGuard::open(name)
+    } else {
+        SpanGuard::INACTIVE
+    }
+}
+
+/// Open a span that is only active at `Debug` (per-call kernel timing).
+#[inline]
+pub fn debug_span(name: &str) -> SpanGuard {
+    if enabled(Level::Debug) {
+        SpanGuard::open(name)
+    } else {
+        SpanGuard::INACTIVE
+    }
+}
+
+// ---------------------------------------------------------------- counters
+
+/// Cached handle to a named counter; cheap to clone and `inc` from hot loops.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        if enabled(Level::Summary) {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Look up (or create) the named counter.
+pub fn counter(name: &str) -> Counter {
+    let mut map = registry().counters.lock();
+    Counter(Arc::clone(map.entry(name.to_string()).or_default()))
+}
+
+/// One-shot increment; prefer a cached [`Counter`] in hot paths.
+#[inline]
+pub fn count(name: &str, n: u64) {
+    if enabled(Level::Summary) {
+        counter(name).0.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Read a counter's current value (0 if it was never touched).
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .counters
+        .lock()
+        .get(name)
+        .map(|c| c.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------- histograms
+
+/// Number of log-spaced buckets: bounds are `FIRST_BOUND_NS << i`, plus a
+/// final catch-all at `u64::MAX`.
+const HIST_BUCKETS: usize = 40;
+const FIRST_BOUND_NS: u64 = 64;
+
+/// Fixed-bucket latency histogram. Bucket `i` counts samples with
+/// `ns <= FIRST_BOUND_NS << i`; percentile estimates return the upper bound
+/// of the bucket holding the target rank (≤ 2× overestimate by design).
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS + 1],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Upper bound (ns) of bucket `i`.
+    fn bound(i: usize) -> u64 {
+        if i >= HIST_BUCKETS {
+            u64::MAX
+        } else {
+            FIRST_BOUND_NS << i
+        }
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        (0..HIST_BUCKETS).find(|&i| ns <= Self::bound(i)).unwrap_or(HIST_BUCKETS)
+    }
+
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Estimated `q`-quantile in ns (`q` in `[0, 1]`); 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for i in 0..=HIST_BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bound(i);
+            }
+        }
+        Self::bound(HIST_BUCKETS)
+    }
+}
+
+/// Look up (or create) the named histogram.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut map = registry().hists.lock();
+    Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())))
+}
+
+/// Record one latency sample into the named histogram (`Summary` and above).
+#[inline]
+pub fn record_ns(name: &str, ns: u64) {
+    if enabled(Level::Summary) {
+        histogram(name).record(ns);
+    }
+}
+
+// ---------------------------------------------------------------- events
+
+/// One JSONL line. A flat schema (no `Option`s, no nesting) keeps every
+/// consumer — including `grep`/`jq` one-liners — trivial:
+///
+/// - `kind = "span"`: `count` completions totalling `total_ns` under `name`.
+/// - `kind = "counter"`: counter `name` reached `count`.
+/// - `kind = "hist"`: histogram `name` with `count` samples and
+///   `p50_ns`/`p95_ns`/`p99_ns` estimates (`total_ns` carries the sum).
+/// - `kind = "warn"`: warning code in `name`, text in `msg`.
+/// - `kind = "meta"`: run metadata (harness/model labels) in `name`/`msg`.
+///
+/// Unused numeric fields are 0, unused strings empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    pub ts_ms: u64,
+    pub kind: String,
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub msg: String,
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+impl Event {
+    fn blank(kind: &str, name: &str) -> Event {
+        Event {
+            ts_ms: now_ms(),
+            kind: kind.to_string(),
+            name: name.to_string(),
+            count: 0,
+            total_ns: 0,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+            msg: String::new(),
+        }
+    }
+
+    pub fn span(path: &str, count: u64, total_ns: u64) -> Event {
+        Event { count, total_ns, ..Event::blank("span", path) }
+    }
+
+    pub fn counter(name: &str, value: u64) -> Event {
+        Event { count: value, ..Event::blank("counter", name) }
+    }
+
+    pub fn warn(code: &str, msg: &str) -> Event {
+        Event { msg: msg.to_string(), ..Event::blank("warn", code) }
+    }
+
+    pub fn meta(key: &str, value: &str) -> Event {
+        Event { msg: value.to_string(), ..Event::blank("meta", key) }
+    }
+}
+
+enum SinkTarget {
+    File(BufWriter<std::fs::File>),
+    Memory(Vec<String>),
+}
+
+static SINK: Mutex<Option<SinkTarget>> = Mutex::new(None);
+
+/// Route events to a JSONL file (parent directories are created). Replaces
+/// any previously installed sink.
+pub fn install_file_sink(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let file = std::fs::File::create(path)?;
+    *SINK.lock() = Some(SinkTarget::File(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Route events to an in-memory buffer (tests).
+pub fn install_memory_sink() {
+    *SINK.lock() = Some(SinkTarget::Memory(Vec::new()));
+}
+
+/// Drain the in-memory sink (empty for a file sink or no sink).
+pub fn drain_memory_sink() -> Vec<String> {
+    match SINK.lock().as_mut() {
+        Some(SinkTarget::Memory(lines)) => std::mem::take(lines),
+        _ => Vec::new(),
+    }
+}
+
+/// Flush and remove the current sink.
+pub fn close_sink() {
+    if let Some(SinkTarget::File(mut w)) = SINK.lock().take() {
+        let _ = w.flush();
+    }
+}
+
+/// Write one event to the installed sink (no-op without a sink).
+pub fn emit(event: &Event) {
+    let Ok(line) = serde_json::to_string(event) else { return };
+    match SINK.lock().as_mut() {
+        Some(SinkTarget::File(w)) => {
+            let _ = writeln!(w, "{line}");
+        }
+        Some(SinkTarget::Memory(lines)) => lines.push(line),
+        None => {}
+    }
+}
+
+/// Emit a warning: stderr at `Summary`+, and always a JSONL event so
+/// degenerate conditions are machine-visible even at `off`.
+pub fn warn(code: &str, msg: &str) {
+    if enabled(Level::Summary) {
+        eprintln!("[rtgcn-telemetry] WARN {code}: {msg}");
+    }
+    emit(&Event::warn(code, msg));
+}
+
+/// Write aggregate span/counter/histogram events to the sink and flush it.
+/// Called between per-model runs and by the [`Telemetry`] guard on drop.
+pub fn flush_aggregates() {
+    let r = registry();
+    for (path, st) in r.spans.lock().iter() {
+        emit(&Event::span(path, st.count, st.total_ns));
+    }
+    for (name, c) in r.counters.lock().iter() {
+        let v = c.load(Ordering::Relaxed);
+        if v > 0 {
+            emit(&Event::counter(name, v));
+        }
+    }
+    for (name, h) in r.hists.lock().iter() {
+        emit(&Event {
+            count: h.count(),
+            total_ns: h.sum_ns.load(Ordering::Relaxed),
+            p50_ns: h.percentile(0.50),
+            p95_ns: h.percentile(0.95),
+            p99_ns: h.percentile(0.99),
+            ..Event::blank("hist", name)
+        });
+    }
+    if let Some(SinkTarget::File(w)) = SINK.lock().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+// ---------------------------------------------------------------- summary
+
+fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Render the aggregated span tree, counters and histogram percentiles as
+/// human-readable text (what [`print_summary`] writes to stderr).
+pub fn render_summary() -> String {
+    let r = registry();
+    let mut out = String::new();
+    let spans = r.spans.lock();
+    if !spans.is_empty() {
+        out.push_str("span tree (total | mean | count):\n");
+        for (path, st) in spans.iter() {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let mean = st.total_ns.checked_div(st.count).unwrap_or(0);
+            out.push_str(&format!(
+                "{:indent$}{name:<28} {:>9} | {:>9} | {}\n",
+                "",
+                format_ns(st.total_ns),
+                format_ns(mean),
+                st.count,
+                indent = 2 * depth,
+            ));
+        }
+    }
+    drop(spans);
+    let counters = r.counters.lock();
+    let live: Vec<_> = counters
+        .iter()
+        .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+        .filter(|&(_, v)| v > 0)
+        .collect();
+    drop(counters);
+    if !live.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in live {
+            out.push_str(&format!("  {name:<34} {v}\n"));
+        }
+    }
+    let hists = r.hists.lock();
+    if !hists.is_empty() {
+        out.push_str("latency histograms (p50 / p95 / p99 | n):\n");
+        for (name, h) in hists.iter() {
+            out.push_str(&format!(
+                "  {name:<34} {} / {} / {} | {}\n",
+                format_ns(h.percentile(0.50)),
+                format_ns(h.percentile(0.95)),
+                format_ns(h.percentile(0.99)),
+                h.count(),
+            ));
+        }
+    }
+    out
+}
+
+/// Write [`render_summary`] to stderr (no-op when there is nothing to show).
+pub fn print_summary() {
+    let s = render_summary();
+    if !s.is_empty() {
+        eprintln!("─── rtgcn-telemetry summary ───");
+        eprint!("{s}");
+        eprintln!("───────────────────────────────");
+    }
+}
+
+// ---------------------------------------------------------------- harness init
+
+/// RAII handle returned by [`init_harness`]: on drop, flushes aggregate
+/// events to the JSONL sink and (at `Summary`+) prints the span-tree summary
+/// to stderr.
+pub struct Telemetry {
+    _private: (),
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        flush_aggregates();
+        if enabled(Level::Summary) {
+            print_summary();
+        }
+        close_sink();
+    }
+}
+
+/// Sanitise a harness/model label into a filename fragment.
+pub fn sanitize_label(label: &str) -> String {
+    let mut out: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    while out.contains("--") {
+        out = out.replace("--", "-");
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// JSONL path for one (harness, model) run: `<dir>/run-<harness>-<model>.jsonl`.
+pub fn run_log_path(dir: &Path, harness: &str, model: &str) -> PathBuf {
+    dir.join(format!("run-{}-{}.jsonl", sanitize_label(harness), sanitize_label(model)))
+}
+
+/// Initialise telemetry for an experiment binary: resolves the level from
+/// `RTGCN_LOG` (defaulting to `Summary` rather than `Off` — harnesses are
+/// observable unless explicitly silenced), installs a JSONL file sink at
+/// `<log_dir>/run-<harness>.jsonl`, and emits a `meta` event naming the
+/// harness. Returns the guard that flushes + prints on drop.
+pub fn init_harness(harness: &str, log_dir: &Path) -> Telemetry {
+    if LEVEL.load(Ordering::Relaxed) == LEVEL_UNSET {
+        init_level_from_env(Level::Summary);
+    }
+    let path = log_dir.join(format!("run-{}.jsonl", sanitize_label(harness)));
+    if let Err(e) = install_file_sink(&path) {
+        eprintln!("[rtgcn-telemetry] cannot open JSONL sink {}: {e}", path.display());
+    }
+    emit(&Event::meta("harness", harness));
+    Telemetry { _private: () }
+}
+
+/// Swap the JSONL sink to a per-model file (`run-<harness>-<model>.jsonl`),
+/// flushing the aggregates gathered so far into the previous sink and
+/// resetting the registry so each model's stats stand alone.
+pub fn begin_model_run(log_dir: &Path, harness: &str, model: &str) {
+    flush_aggregates();
+    reset();
+    let path = run_log_path(log_dir, harness, model);
+    if let Err(e) = install_file_sink(&path) {
+        eprintln!("[rtgcn-telemetry] cannot open JSONL sink {}: {e}", path.display());
+    }
+    emit(&Event::meta("harness", harness));
+    emit(&Event::meta("model", model));
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("summary"), Some(Level::Summary));
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn sanitized_labels_are_filename_safe() {
+        assert_eq!(sanitize_label("RT-GCN (T)"), "rt-gcn-t");
+        assert_eq!(sanitize_label("Rank_LSTM"), "rank_lstm");
+        assert_eq!(
+            run_log_path(Path::new("results/logs"), "table4_baselines", "RT-GCN (U)"),
+            PathBuf::from("results/logs/run-table4_baselines-rt-gcn-u.jsonl")
+        );
+    }
+
+    #[test]
+    fn histogram_bucketing_is_monotone() {
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(64), 0);
+        assert_eq!(Histogram::bucket_index(65), 1);
+        assert!(Histogram::bucket_index(u64::MAX) == HIST_BUCKETS);
+        for i in 0..HIST_BUCKETS {
+            assert!(Histogram::bound(i) < Histogram::bound(i + 1));
+        }
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(999), "999ns");
+        assert_eq!(format_ns(1_500), "1.5µs");
+        assert_eq!(format_ns(2_500_000), "2.5ms");
+        assert_eq!(format_ns(3_000_000_000), "3.00s");
+    }
+}

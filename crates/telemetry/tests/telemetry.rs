@@ -1,0 +1,203 @@
+//! Integration tests for the telemetry layer. All of these touch global
+//! state (level, registry, sink), so each test grabs `GATE` first; Rust runs
+//! integration tests in threads within one process.
+
+use rtgcn_telemetry as tel;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn fresh(level: tel::Level) -> std::sync::MutexGuard<'static, ()> {
+    let g = locked();
+    tel::set_level(level);
+    tel::reset();
+    tel::install_memory_sink();
+    tel::drain_memory_sink();
+    g
+}
+
+#[test]
+fn span_nesting_builds_slash_paths() {
+    let _g = fresh(tel::Level::Summary);
+    {
+        let _fit = tel::span("fit");
+        for _ in 0..3 {
+            let _epoch = tel::span("epoch");
+            let _fwd = tel::span("forward");
+        }
+    }
+    let summary = tel::render_summary();
+    assert!(summary.contains("fit"), "missing root span:\n{summary}");
+    // Nested paths render indented under their parents with per-path counts.
+    assert!(summary.contains("epoch"), "missing nested span:\n{summary}");
+    assert!(summary.contains("forward"), "missing doubly nested span:\n{summary}");
+    assert!(summary.contains("| 3\n"), "epoch should have count 3:\n{summary}");
+}
+
+#[test]
+fn span_timers_are_monotone_and_contain_children() {
+    let _g = fresh(tel::Level::Summary);
+    let outer_elapsed;
+    {
+        let outer = tel::span("outer");
+        let before = outer.elapsed();
+        {
+            let _inner = tel::span("inner");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let after = outer.elapsed();
+        assert!(after >= before, "span clock went backwards");
+        assert!(after >= Duration::from_millis(5), "outer must contain inner sleep");
+        outer_elapsed = after;
+    }
+    // A second reading from a fresh span also moves forward.
+    let again = tel::span("outer2");
+    std::thread::sleep(Duration::from_millis(1));
+    assert!(again.elapsed() > Duration::ZERO);
+    assert!(outer_elapsed >= Duration::from_millis(5));
+}
+
+#[test]
+fn disabled_spans_are_inert() {
+    let _g = fresh(tel::Level::Off);
+    {
+        let s = tel::span("never");
+        assert!(!s.is_active());
+        assert_eq!(s.elapsed(), Duration::ZERO);
+    }
+    tel::count("never.counter", 5);
+    assert_eq!(tel::counter_value("never.counter"), 0);
+    assert!(tel::render_summary().is_empty());
+}
+
+#[test]
+fn debug_spans_only_fire_at_debug() {
+    let _g = fresh(tel::Level::Summary);
+    assert!(!tel::debug_span("kernel").is_active());
+    tel::set_level(tel::Level::Debug);
+    assert!(tel::debug_span("kernel").is_active());
+}
+
+#[test]
+fn histogram_percentiles_on_known_inputs() {
+    let _g = fresh(tel::Level::Summary);
+    let h = tel::histogram("known");
+    // 100 samples at exact bucket upper bounds: 90 fast (64ns), 9 medium
+    // (8192ns), 1 slow (1048576ns) → p50 fast, p95 medium, p99 medium,
+    // p99.5+ slow.
+    for _ in 0..90 {
+        h.record(64);
+    }
+    for _ in 0..9 {
+        h.record(8_192);
+    }
+    h.record(1_048_576);
+    assert_eq!(h.count(), 100);
+    assert_eq!(h.percentile(0.50), 64);
+    assert_eq!(h.percentile(0.90), 64);
+    assert_eq!(h.percentile(0.95), 8_192);
+    assert_eq!(h.percentile(0.99), 8_192);
+    assert_eq!(h.percentile(1.0), 1_048_576);
+    let mean = h.mean_ns();
+    assert!(mean > 64 && mean < 1_048_576, "mean {mean} out of range");
+}
+
+#[test]
+fn histogram_empty_and_single_sample() {
+    let _g = fresh(tel::Level::Summary);
+    let h = tel::histogram("edge");
+    assert_eq!(h.percentile(0.99), 0);
+    h.record(1);
+    assert_eq!(h.percentile(0.0), 64); // clamped to rank 1 → first bucket bound
+    assert_eq!(h.percentile(1.0), 64);
+}
+
+#[test]
+fn counters_are_atomic_under_crossbeam_threads() {
+    let _g = fresh(tel::Level::Summary);
+    let c = tel::counter("parallel.hits");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    crossbeam::scope(|s| {
+        for _ in 0..THREADS {
+            let c = c.clone();
+            s.spawn(move |_| {
+                for _ in 0..PER_THREAD {
+                    c.inc(1);
+                }
+            });
+        }
+    })
+    .expect("counter threads panicked");
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(tel::counter_value("parallel.hits"), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn jsonl_events_roundtrip_through_serde_json() {
+    let _g = fresh(tel::Level::Summary);
+    tel::warn("test.code", "something degenerate");
+    tel::count("c", 3);
+    tel::record_ns("h", 100);
+    tel::record_ns("h", 200_000);
+    tel::flush_aggregates();
+    let lines = tel::drain_memory_sink();
+    assert!(!lines.is_empty(), "no JSONL emitted");
+    let mut kinds = Vec::new();
+    for line in &lines {
+        let ev: tel::Event = serde_json::from_str(line).expect("line must parse as Event");
+        // Round-trip: serialize again and reparse — identical.
+        let re = serde_json::to_string(&ev).unwrap();
+        let ev2: tel::Event = serde_json::from_str(&re).unwrap();
+        assert_eq!(ev, ev2);
+        kinds.push(ev.kind.clone());
+    }
+    assert!(kinds.iter().any(|k| k == "warn"));
+    assert!(kinds.iter().any(|k| k == "counter"));
+    assert!(kinds.iter().any(|k| k == "hist"));
+    let warn_line = lines.iter().find(|l| l.contains("\"warn\"")).unwrap();
+    let ev: tel::Event = serde_json::from_str(warn_line).unwrap();
+    assert_eq!(ev.name, "test.code");
+    assert_eq!(ev.msg, "something degenerate");
+}
+
+#[test]
+fn file_sink_writes_parseable_jsonl() {
+    let _g = fresh(tel::Level::Summary);
+    let dir = std::env::temp_dir().join("rtgcn-telemetry-test");
+    let path = tel::run_log_path(&dir, "unit_test", "RT-GCN (T)");
+    tel::install_file_sink(&path).expect("sink install");
+    tel::warn("io.check", "hello");
+    tel::count("io.counter", 7);
+    tel::flush_aggregates();
+    tel::close_sink();
+    let text = std::fs::read_to_string(&path).expect("log file exists");
+    let mut parsed = 0;
+    for line in text.lines() {
+        let _: tel::Event = serde_json::from_str(line).expect("parseable line");
+        parsed += 1;
+    }
+    assert!(parsed >= 2, "expected at least warn + counter events, got {parsed}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spans_merge_across_threads() {
+    let _g = fresh(tel::Level::Summary);
+    crossbeam::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|_| {
+                let _root = tel::span("worker");
+            });
+        }
+    })
+    .expect("span threads panicked");
+    let summary = tel::render_summary();
+    assert!(summary.contains("worker"), "{summary}");
+    assert!(summary.contains("| 4\n"), "4 worker spans expected:\n{summary}");
+}

@@ -45,6 +45,7 @@ pub mod optim;
 pub mod param;
 pub mod shape;
 pub mod tape;
+mod telemetry_hooks;
 pub mod tensor;
 
 pub use ops::{ConvSpec, Edges};

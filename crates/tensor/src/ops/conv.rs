@@ -51,6 +51,9 @@ impl Tape {
     ///
     /// Returns `(B, C_out, L_out)` with `L_out = ⌈L / stride⌉`.
     pub fn conv1d_causal(&mut self, x: Var, w: Var, bias: Var, spec: ConvSpec) -> Var {
+        static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
+        crate::telemetry_hooks::kernel_counter(&CALLS, "tensor.conv1d_causal.calls").inc(1);
+        let _t = rtgcn_telemetry::debug_span("tensor.conv1d_causal");
         let xv = self.value(x);
         let wv = self.value(w);
         let bv = self.value(bias);
@@ -68,6 +71,9 @@ impl Tape {
         {
             let (od, xd, wd, bd) = (out.data_mut(), xv.data(), wv.data(), bv.data());
             for bi in 0..b {
+                // `co` indexes four differently-strided buffers at once; an
+                // iterator chain here would hide the addressing arithmetic.
+                #[allow(clippy::needless_range_loop)]
                 for co in 0..c_out {
                     let obase = (bi * c_out + co) * l_out;
                     for t in 0..l_out {
@@ -100,6 +106,7 @@ impl Tape {
             let mut gw = vec![0.0f32; c_out * c_in * k];
             let mut gb = vec![0.0f32; c_out];
             for bi in 0..b {
+                #[allow(clippy::needless_range_loop)]
                 for co in 0..c_out {
                     let obase = (bi * c_out + co) * l_out;
                     for t in 0..l_out {

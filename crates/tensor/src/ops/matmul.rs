@@ -2,6 +2,7 @@
 
 use crate::linalg;
 use crate::tape::{Tape, Var};
+use crate::telemetry_hooks::kernel_counter;
 use crate::tensor::Tensor;
 
 impl Tape {
@@ -10,6 +11,9 @@ impl Tape {
     /// Backward: `∂L/∂a = g · bᵀ`, `∂L/∂b = aᵀ · g`, computed with the
     /// transpose-free kernels in [`crate::linalg`].
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
+        kernel_counter(&CALLS, "tensor.matmul.calls").inc(1);
+        let _t = rtgcn_telemetry::debug_span("tensor.matmul");
         let out = linalg::matmul(self.value(a), self.value(b));
         self.push_op(out, vec![a, b], |ctx| {
             let ga = linalg::matmul_nt(ctx.grad, ctx.parents[1]);
@@ -21,6 +25,9 @@ impl Tape {
     /// Affine layer `x·W + bias` where `x: (m×k)`, `w: (k×n)`,
     /// `bias: (n)` broadcast over rows.
     pub fn linear(&mut self, x: Var, w: Var, bias: Var) -> Var {
+        static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
+        kernel_counter(&CALLS, "tensor.linear.calls").inc(1);
+        let _t = rtgcn_telemetry::debug_span("tensor.linear");
         let xv = self.value(x);
         let wv = self.value(w);
         let bv = self.value(bias);

@@ -42,6 +42,9 @@ impl Tape {
     /// the op is differentiable w.r.t. both the adjacency weights (needed by
     /// the weighted and time-sensitive strategies) and the node features.
     pub fn spmm(&mut self, edges: &Edges, weights: Var, x: Var) -> Var {
+        static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
+        crate::telemetry_hooks::kernel_counter(&CALLS, "tensor.spmm.calls").inc(1);
+        let _t = rtgcn_telemetry::debug_span("tensor.spmm");
         let wv = self.value(weights);
         let xv = self.value(x);
         assert_eq!(wv.numel(), edges.len(), "one weight per edge required");

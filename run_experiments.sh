@@ -1,21 +1,44 @@
 #!/bin/sh
 # Sequential experiment queue (single-core machine). Each harness prints the
-# paper-style table to its log and writes a JSON artifact into results/.
+# paper-style table to its log and writes a JSON artifact into results/;
+# telemetry JSONL streams land next to the .txt captures (see --logs).
+#
+# Usage: ./run_experiments.sh [--logs DIR]
+#   --logs DIR   directory for harness stdout captures and telemetry JSONL
+#                (default results/logs; forwarded to every harness binary)
+set -e
 set -x
 cd /root/repo
-B=./target/release
+
 R=results/logs
-$B/table2_dataset_stats                                > $R/table2.txt 2>&1
-$B/table3_relation_stats                               > $R/table3.txt 2>&1
-$B/table4_baselines --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1
-$B/table4_baselines --markets nasdaq --seeds 2 --epochs 3 > $R/table4_nasdaq.txt 2>&1
-$B/fig5_speed       --markets nasdaq                   > $R/fig5.txt 2>&1
-$B/fig8_case_study  --epochs 3                         > $R/fig8.txt 2>&1
-$B/table7_module_ablation --markets csi,nasdaq --seeds 1 --epochs 3 > $R/table7.txt 2>&1
-$B/table6_relation_types  --markets nasdaq --seeds 1 --epochs 3     > $R/table6.txt 2>&1
-$B/fig6_return_curves --markets nasdaq,csi --epochs 3  > $R/fig6.txt 2>&1
-$B/fig7_hyperparams  --markets csi --seeds 1 --epochs 3 > $R/fig7.txt 2>&1
-$B/table5_published_setting --markets nasdaq --seeds 3 --epochs 3 > $R/table5.txt 2>&1
-$B/table4_baselines --markets nyse --seeds 1 --epochs 2 > $R/table4_nyse.txt 2>&1
-$B/table5_published_setting --markets nyse --seeds 1 --epochs 2 > $R/table5_nyse.txt 2>&1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --logs)
+      [ $# -ge 2 ] || { echo "error[run_experiments]: --logs requires a value" >&2; exit 2; }
+      R="$2"; shift 2 ;;
+    *)
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR])" >&2; exit 2 ;;
+  esac
+done
+mkdir -p "$R"
+
+# Lint gate: the harnesses below silently produce wrong tables if warnings
+# (unused results, lossy casts) slip in. Offline-safe — all deps are
+# path-vendored, so clippy never touches the network.
+cargo clippy --workspace -- -D warnings
+
+B=./target/release
+$B/table2_dataset_stats --logs "$R"                    > $R/table2.txt 2>&1
+$B/table3_relation_stats --logs "$R"                   > $R/table3.txt 2>&1
+$B/table4_baselines --logs "$R" --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1
+$B/table4_baselines --logs "$R" --markets nasdaq --seeds 2 --epochs 3 > $R/table4_nasdaq.txt 2>&1
+$B/fig5_speed       --logs "$R" --markets nasdaq       > $R/fig5.txt 2>&1
+$B/fig8_case_study  --logs "$R" --epochs 3             > $R/fig8.txt 2>&1
+$B/table7_module_ablation --logs "$R" --markets csi,nasdaq --seeds 1 --epochs 3 > $R/table7.txt 2>&1
+$B/table6_relation_types  --logs "$R" --markets nasdaq --seeds 1 --epochs 3     > $R/table6.txt 2>&1
+$B/fig6_return_curves --logs "$R" --markets nasdaq,csi --epochs 3  > $R/fig6.txt 2>&1
+$B/fig7_hyperparams  --logs "$R" --markets csi --seeds 1 --epochs 3 > $R/fig7.txt 2>&1
+$B/table5_published_setting --logs "$R" --markets nasdaq --seeds 3 --epochs 3 > $R/table5.txt 2>&1
+$B/table4_baselines --logs "$R" --markets nyse --seeds 1 --epochs 2 > $R/table4_nyse.txt 2>&1
+$B/table5_published_setting --logs "$R" --markets nyse --seeds 1 --epochs 2 > $R/table5_nyse.txt 2>&1
 echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`. Same macro/type spelling as upstream
+//! for the subset the workspace benches use; measurement is a plain
+//! warmup-then-sample wall-clock loop (no outlier analysis, no HTML report).
+//! Per-benchmark time budget is tunable via `RTGCN_BENCH_MS` (default 200 ms
+//! measurement after 50 ms warmup).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn measure_budget() -> Duration {
+    std::env::var("RTGCN_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(200))
+}
+
+/// Runs closures handed to [`Bencher::iter`] and accumulates timing.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/branch predictors settle and get a cost estimate.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().checked_div(warm_iters as u32).unwrap_or(warmup);
+
+        // Measurement: as many iterations as fit the budget, at least one.
+        let budget = measure_budget();
+        let n = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let t = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(f());
+        }
+        self.total = t.elapsed();
+        self.iters = n;
+    }
+
+    fn mean(&self) -> Duration {
+        self.total.checked_div(self.iters.max(1) as u32).unwrap_or_default()
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    println!(
+        "{label:<40} time: [{}]  ({} iters)",
+        format_time(b.mean()),
+        b.iters
+    );
+}
+
+/// Benchmark identifier; only the `from_parameter` constructor is used here.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self(p.to_string())
+    }
+
+    pub fn new<N: Display, P: Display>(name: N, p: P) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, name: N, f: F) {
+        run_one(&name.to_string(), f);
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Upstream controls the statistical sample count; the stand-in's loop is
+    /// budget-driven, so this is accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, id: N, f: F) {
+        run_one(&format!("{}/{}", self.name, id), f);
+    }
+
+    pub fn bench_with_input<N: Display, I, F>(&mut self, id: N, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        std::env::set_var("RTGCN_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("matmul", 64).to_string(), "matmul/64");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(format_time(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_time(Duration::from_micros(1500)), "1.500 ms");
+    }
+}

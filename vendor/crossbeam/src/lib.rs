@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` scoped-thread API, implemented over
+//! `std::thread::scope` (stable since 1.63). Only the surface the workspace
+//! uses is provided: [`scope`] with [`Scope::spawn`], where the spawn closure
+//! receives the scope again (crossbeam's signature) so nested spawns work.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result type matching `crossbeam::thread::Result`.
+pub type ThreadResult<T> = std::thread::Result<T>;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. As in crossbeam, the closure receives the
+    /// scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning borrowing threads. Returns `Err` with the
+/// panic payload if the closure or any unjoined spawned thread panicked
+/// (crossbeam semantics).
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum as usize, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

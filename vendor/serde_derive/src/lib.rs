@@ -1,0 +1,251 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (no syn/quote — crates-io is unreachable here). Supports exactly the
+//! shapes this workspace derives on:
+//!
+//! - structs with named fields → JSON object keyed by field name;
+//! - enums whose variants are all unit variants → JSON string of the
+//!   variant name.
+//!
+//! Anything else (tuple structs, data-carrying enums, generic types) is a
+//! deliberate compile error pointing here, so a future contributor extends
+//! the macro instead of silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute (`#` already consumed ⇒ consume the `[...]` group;
+/// also tolerate the inner-attribute `!`).
+fn skip_attr(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+        iter.next();
+    }
+    iter.next(); // the [...] group
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Header: attributes, visibility, then `struct`/`enum` + name.
+    let kind;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Skip optional `(crate)`/`(super)` group.
+                        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            iter.next();
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = s;
+                        break;
+                    }
+                    other => return Err(format!("unsupported item kind `{other}`")),
+                }
+            }
+            other => return Err(format!("unexpected token {other:?} before item keyword")),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}` (see vendor/serde_derive)"
+        ));
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("unit/tuple struct `{name}` is not supported"))
+            }
+            Some(_) => continue, // where-clause tokens etc. (not used in-repo)
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+
+    if kind == "struct" {
+        let fields = parse_named_fields(body, &name)?;
+        Ok(Item::Struct { name, fields })
+    } else {
+        let variants = parse_unit_variants(body, &name)?;
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+/// Field names of a named-field struct body, skipping attributes and
+/// visibility, and balancing `<...>` so commas inside generic types don't
+/// split fields.
+fn parse_named_fields(body: TokenStream, owner: &str) -> Result<Vec<String>, String> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Field prelude: attributes + optional visibility.
+        let field_name = loop {
+            match iter.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        iter.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("unexpected token {other:?} in fields of `{owner}`"))
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field_name}` of `{owner}`, got {other:?} \
+                     (tuple structs are not supported)"
+                ))
+            }
+        }
+        fields.push(field_name);
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, owner: &str) -> Result<Vec<String>, String> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match iter.next() {
+                    None => return Ok(variants),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => {
+                        return Err(format!(
+                            "enum `{owner}` has a non-unit variant near {other:?}; \
+                             vendored serde_derive only supports unit variants"
+                        ))
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token {other:?} in enum `{owner}`")),
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(String::from(match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__m, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let __m = __v.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\"expected map for \", stringify!({name}))))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match __v.as_str() {{\n\
+                             {arms}\
+                             other => Err(::serde::Error::custom(format!(\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

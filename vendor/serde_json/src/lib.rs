@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde_json` over the vendored [`serde`] data model:
+//! compact and pretty writers plus a recursive-descent parser. Covers the
+//! API surface the workspace uses (`to_string`, `to_string_pretty`,
+//! `from_str`, `to_value`, [`Value`]).
+
+pub use serde::{Error, Value};
+use std::fmt::Write as _;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact single-line JSON (what the JSONL sinks write).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to human-readable two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Lower a value into the data model without rendering.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstruct a typed value from the data model.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+// -------------------------------------------------------------------- writer
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::F64(f) => {
+            if f.is_finite() {
+                // Keep floats recognisably floats (serde_json prints 1.0,
+                // Rust's shortest repr prints 1).
+                if *f == f.trunc() && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Infinity
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => write_block(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Map(entries) => write_block(out, indent, depth, '{', '}', entries.len(), |out, i| {
+            write_escaped(out, &entries[i].0);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, &entries[i].1, indent, depth + 1);
+        }),
+    }
+}
+
+fn write_block(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// -------------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::custom(format!("bad sequence at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::custom(format!("bad map at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(if i >= 0 { Value::U64(i as u64) } else { Value::I64(i) });
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|e| Error::custom(format!("bad number {text:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_and_pretty_roundtrip() {
+        let mut m: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        m.insert("a b".into(), vec![1.0, -2.5]);
+        m.insert("c\"d".into(), vec![]);
+        let compact = to_string(&m).unwrap();
+        assert_eq!(compact, r#"{"a b":[1.0,-2.5],"c\"d":[]}"#);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert!(pretty.contains("\n  \"a b\": ["));
+        let back: BTreeMap<String, Vec<f64>> = from_str(&compact).unwrap();
+        assert_eq!(back, m);
+        let back2: BTreeMap<String, Vec<f64>> = from_str(&pretty).unwrap();
+        assert_eq!(back2, m);
+    }
+
+    #[test]
+    fn parses_nested_values() {
+        let v: Value = from_str(r#"{"k": [1, 2.5, null, true, "x\n"], "n": -3}"#).unwrap();
+        let seq = v.get("k").and_then(Value::as_seq).unwrap();
+        assert_eq!(seq.len(), 5);
+        assert_eq!(seq[0].as_u64(), Some(1));
+        assert_eq!(seq[1].as_f64(), Some(2.5));
+        assert_eq!(seq[2], Value::Null);
+        assert_eq!(seq[4].as_str(), Some("x\n"));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(-3));
+    }
+
+    #[test]
+    fn nan_and_infinity_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("{").is_err());
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&3.25f64).unwrap(), "3.25");
+    }
+}
