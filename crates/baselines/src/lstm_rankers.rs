@@ -5,11 +5,15 @@
 //! the pairwise ranking hinge (Eq. 8) — the paper's canonical evidence that
 //! ranking losses beat regression for investment revenue.
 
-use crate::recurrent::{split_window, LstmCell};
+use crate::recurrent::{optimise_step, split_window, LstmCell};
 use rtgcn_core::{FitReport, StockRanker};
 use rtgcn_market::StockDataset;
-use rtgcn_tensor::{clip_grad_norm, init, Adam, Optimizer, ParamId, ParamStore, Tape, Tensor};
+use rtgcn_telemetry::health::{HealthConfig, HealthMonitor};
+use rtgcn_tensor::{init, Adam, ParamId, ParamStore, Tape, Tensor};
 use std::time::Instant;
+
+/// L2 weight-decay λ shared by every baseline optimiser (`Adam::new(lr, λ)`).
+pub(crate) const BASELINE_L2: f32 = 1e-4;
 
 /// Shared hyperparameters for the sequence baselines.
 #[derive(Clone, Debug)]
@@ -21,11 +25,21 @@ pub struct SeqConfig {
     pub lr: f32,
     /// Ranking-loss weight (used only when ranking is enabled).
     pub alpha: f32,
+    /// Stop the fit loop early once the health monitor reports divergence.
+    pub abort_on_divergence: bool,
 }
 
 impl Default for SeqConfig {
     fn default() -> Self {
-        SeqConfig { t_steps: 16, n_features: 4, hidden: 32, epochs: 6, lr: 1e-3, alpha: 0.1 }
+        SeqConfig {
+            t_steps: 16,
+            n_features: 4,
+            hidden: 32,
+            epochs: 6,
+            lr: 1e-3,
+            alpha: 0.1,
+            abort_on_divergence: false,
+        }
     }
 }
 
@@ -76,32 +90,47 @@ impl StockRanker for LstmRanker {
 
     fn fit(&mut self, ds: &StockDataset) -> FitReport {
         let t0 = Instant::now();
-        let mut opt = Adam::new(self.cfg.lr, 1e-4);
+        let mut opt = Adam::new(self.cfg.lr, BASELINE_L2);
         let days = ds.train_end_days(self.cfg.t_steps);
         let mut epoch_losses = Vec::new();
+        let mut epoch_secs = Vec::new();
+        let mut monitor = HealthMonitor::new(
+            &self.name(),
+            HealthConfig { abort_on_divergence: self.cfg.abort_on_divergence, ..HealthConfig::default() },
+        );
         for _ in 0..self.cfg.epochs {
+            let e0 = Instant::now();
             let mut acc = 0.0f64;
             for &day in &days {
                 let s = ds.sample(day, self.cfg.t_steps, self.cfg.n_features);
                 let mut tape = Tape::new();
                 let pred = self.forward(&mut tape, &s.x);
-                let loss = if self.ranking {
-                    tape.combined_rank_loss(pred, &s.y, self.cfg.alpha)
+                let (loss, mse, rank) = if self.ranking {
+                    tape.combined_rank_loss_parts(pred, &s.y, self.cfg.alpha)
                 } else {
-                    tape.mse(pred, &s.y)
+                    let loss = tape.mse(pred, &s.y);
+                    let mse = tape.value(loss).item();
+                    (loss, mse, 0.0)
                 };
-                acc += tape.value(loss).item() as f64;
-                tape.backward(loss);
-                self.store.absorb_grads(&tape);
-                clip_grad_norm(&mut self.store, 5.0);
-                opt.step(&mut self.store);
+                let (lv, gnorm) = optimise_step(&mut tape, loss, &mut self.store, &mut opt, 5.0);
+                acc += lv as f64;
+                monitor.observe_step(lv, mse, rank, gnorm);
             }
-            epoch_losses.push((acc / days.len().max(1) as f64) as f32);
+            epoch_losses.push(if days.is_empty() { f32::NAN } else { (acc / days.len() as f64) as f32 });
+            epoch_secs.push(e0.elapsed().as_secs_f64());
+            monitor.end_epoch(self.store.value_norm(), BASELINE_L2);
+            if monitor.should_abort() {
+                break;
+            }
         }
+        let (health, epoch_health) = monitor.finish();
         FitReport {
             train_secs: t0.elapsed().as_secs_f64(),
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
+            epoch_secs,
+            health,
+            epoch_health,
             ..FitReport::default()
         }
     }

@@ -4,7 +4,7 @@
 //! parallel, exactly as the reference implementations do.
 
 use rand::rngs::StdRng;
-use rtgcn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+use rtgcn_tensor::{clip_grad_norm, init, Optimizer, ParamId, ParamStore, Tape, Tensor, Var};
 
 /// One gate's affine parameters: `x·W_x + h·W_h + b`.
 struct Gate {
@@ -156,10 +156,29 @@ pub fn split_window(tape: &mut Tape, x: &Tensor) -> Vec<Var> {
         .collect()
 }
 
+/// Shared tail of every baseline optimisation step: read the loss value,
+/// backprop, absorb grads into the store, clip, apply the optimiser.
+/// Returns `(loss, pre-clip grad L2 norm)` — the two numbers the
+/// training-health monitor consumes.
+pub fn optimise_step(
+    tape: &mut Tape,
+    loss: Var,
+    store: &mut ParamStore,
+    opt: &mut dyn Optimizer,
+    max_norm: f32,
+) -> (f32, f32) {
+    let loss_val = tape.value(loss).item();
+    tape.backward(loss);
+    store.absorb_grads(tape);
+    let grad_norm = clip_grad_norm(store, max_norm);
+    opt.step(store);
+    (loss_val, grad_norm)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtgcn_tensor::{Adam, Optimizer};
+    use rtgcn_tensor::Adam;
 
     #[test]
     fn lstm_shapes_and_bounded_state() {

@@ -16,13 +16,13 @@
 //! attention is replaced by the fixed spectral operator; the temporal
 //! Hawkes attention and the learning-to-rank objective are as published.
 
-use crate::recurrent::split_window;
+use crate::lstm_rankers::BASELINE_L2;
+use crate::recurrent::{optimise_step, split_window};
 use rtgcn_core::{FitReport, StockRanker};
 use rtgcn_graph::Hypergraph;
 use rtgcn_market::{RelationKind, StockDataset};
-use rtgcn_tensor::{
-    clip_grad_norm, init, Adam, Edges, Optimizer, ParamId, ParamStore, Tape, Tensor, Var,
-};
+use rtgcn_telemetry::health::{HealthConfig, HealthMonitor};
+use rtgcn_tensor::{init, Adam, Edges, ParamId, ParamStore, Tape, Tensor, Var};
 use std::time::Instant;
 
 /// STHAN-SR configuration.
@@ -35,6 +35,8 @@ pub struct SthanConfig {
     pub lr: f32,
     pub alpha: f32,
     pub relation_kind: RelationKind,
+    /// Stop the fit loop early once the health monitor reports divergence.
+    pub abort_on_divergence: bool,
 }
 
 impl Default for SthanConfig {
@@ -47,6 +49,7 @@ impl Default for SthanConfig {
             lr: 1e-3,
             alpha: 0.1,
             relation_kind: RelationKind::Both,
+            abort_on_divergence: false,
         }
     }
 }
@@ -200,28 +203,42 @@ impl StockRanker for Sthan {
     fn fit(&mut self, ds: &StockDataset) -> FitReport {
         self.ensure_built(ds);
         let t0 = Instant::now();
-        let mut opt = Adam::new(self.cfg.lr, 1e-4);
+        let mut opt = Adam::new(self.cfg.lr, BASELINE_L2);
         let days = ds.train_end_days(self.cfg.t_steps);
         let mut epoch_losses = Vec::new();
+        let mut epoch_secs = Vec::new();
+        let mut monitor = HealthMonitor::new(
+            &self.name(),
+            HealthConfig { abort_on_divergence: self.cfg.abort_on_divergence, ..HealthConfig::default() },
+        );
         for _ in 0..self.cfg.epochs {
+            let e0 = Instant::now();
             let mut acc = 0.0f64;
             for &day in &days {
                 let s = ds.sample(day, self.cfg.t_steps, self.cfg.n_features);
                 let mut tape = Tape::new();
                 let pred = self.forward(&mut tape, &s.x);
-                let loss = tape.combined_rank_loss(pred, &s.y, self.cfg.alpha);
-                acc += tape.value(loss).item() as f64;
-                tape.backward(loss);
-                self.store.absorb_grads(&tape);
-                clip_grad_norm(&mut self.store, 5.0);
-                opt.step(&mut self.store);
+                let (loss, mse, rank) =
+                    tape.combined_rank_loss_parts(pred, &s.y, self.cfg.alpha);
+                let (lv, gnorm) = optimise_step(&mut tape, loss, &mut self.store, &mut opt, 5.0);
+                acc += lv as f64;
+                monitor.observe_step(lv, mse, rank, gnorm);
             }
-            epoch_losses.push((acc / days.len().max(1) as f64) as f32);
+            epoch_losses.push(if days.is_empty() { f32::NAN } else { (acc / days.len() as f64) as f32 });
+            epoch_secs.push(e0.elapsed().as_secs_f64());
+            monitor.end_epoch(self.store.value_norm(), BASELINE_L2);
+            if monitor.should_abort() {
+                break;
+            }
         }
+        let (health, epoch_health) = monitor.finish();
         FitReport {
             train_secs: t0.elapsed().as_secs_f64(),
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
+            epoch_secs,
+            health,
+            epoch_health,
             ..FitReport::default()
         }
     }

@@ -67,6 +67,8 @@ pub struct CommonConfig {
     pub lr: f32,
     pub alpha: f32,
     pub relation_kind: RelationKind,
+    /// Stop monitored fit loops early on a `Diverged` health verdict.
+    pub abort_on_divergence: bool,
 }
 
 impl Default for CommonConfig {
@@ -79,6 +81,7 @@ impl Default for CommonConfig {
             lr: 1e-3,
             alpha: 0.1,
             relation_kind: RelationKind::Both,
+            abort_on_divergence: false,
         }
     }
 }
@@ -92,6 +95,7 @@ pub fn build(kind: ModelKind, common: &CommonConfig, seed: u64) -> Box<dyn Stock
         epochs: common.epochs,
         lr: common.lr,
         alpha: common.alpha,
+        abort_on_divergence: common.abort_on_divergence,
     };
     match kind {
         ModelKind::Arima => Box::new(Arima::new(ArimaConfig::default())),
@@ -151,6 +155,7 @@ pub fn build(kind: ModelKind, common: &CommonConfig, seed: u64) -> Box<dyn Stock
                 alpha: common.alpha,
                 variant: RsrVariant::Implicit,
                 relation_kind: common.relation_kind,
+                abort_on_divergence: common.abort_on_divergence,
             },
             seed,
         )),
@@ -164,6 +169,7 @@ pub fn build(kind: ModelKind, common: &CommonConfig, seed: u64) -> Box<dyn Stock
                 alpha: common.alpha,
                 variant: RsrVariant::Explicit,
                 relation_kind: common.relation_kind,
+                abort_on_divergence: common.abort_on_divergence,
             },
             seed,
         )),
@@ -190,6 +196,7 @@ pub fn build(kind: ModelKind, common: &CommonConfig, seed: u64) -> Box<dyn Stock
                 lr: common.lr,
                 alpha: common.alpha,
                 relation_kind: common.relation_kind,
+                abort_on_divergence: common.abort_on_divergence,
             },
             seed,
         )),

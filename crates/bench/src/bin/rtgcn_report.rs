@@ -1,0 +1,115 @@
+//! `rtgcn-report` — turn per-model telemetry JSONL run logs into a
+//! machine-readable BENCH snapshot, and diff snapshots for perf regressions.
+//!
+//! Snapshot mode (after a harness run):
+//!
+//! ```text
+//! rtgcn-report --logs results/logs --harness table4_baselines \
+//!     [--out results/BENCH_table4_baselines.json] [--md results/BENCH.md]
+//! ```
+//!
+//! Baseline mode (CI gate; exits 3 when any metric regresses past the
+//! threshold):
+//!
+//! ```text
+//! rtgcn-report --baseline results/BENCH.baseline.json results/BENCH.json \
+//!     [--threshold 20]
+//! ```
+
+use rtgcn_bench::snapshot::{build_snapshot, diff_snapshots, render_markdown, BenchSnapshot};
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "usage:\n  rtgcn-report --logs DIR --harness NAME [--out FILE] [--md FILE]\n  rtgcn-report --baseline BASE_JSON NEW_JSON [--threshold PCT]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error[rtgcn-report]: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn read_snapshot(path: &str) -> BenchSnapshot {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse snapshot {path}: {e}")))
+}
+
+fn main() {
+    let mut logs: Option<String> = None;
+    let mut harness: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut md: Option<String> = None;
+    let mut baseline: Option<(String, String)> = None;
+    let mut threshold = 20.0f64;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--logs" => logs = Some(value("--logs")),
+            "--harness" => harness = Some(value("--harness")),
+            "--out" => out = Some(value("--out")),
+            "--md" => md = Some(value("--md")),
+            "--baseline" => {
+                let base = value("--baseline");
+                let new = value("--baseline");
+                baseline = Some((base, new));
+            }
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--threshold: {e}")));
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    if let Some((base_path, new_path)) = baseline {
+        let base = read_snapshot(&base_path);
+        let new = read_snapshot(&new_path);
+        let regs = diff_snapshots(&base, &new, threshold);
+        if regs.is_empty() {
+            println!(
+                "OK: no regression past {threshold}% across {} model(s)",
+                new.models.len()
+            );
+            return;
+        }
+        eprintln!("{} regression(s) past {threshold}% vs {base_path}:", regs.len());
+        for r in &regs {
+            eprintln!(
+                "  {} {}: {:.3} -> {:.3} ({:+.1}%)",
+                r.model, r.metric, r.base, r.new, r.pct
+            );
+        }
+        exit(3);
+    }
+
+    let (Some(logs), Some(harness)) = (logs, harness) else {
+        fail("--logs and --harness are required in snapshot mode");
+    };
+    let snap = build_snapshot(&PathBuf::from(&logs), &harness)
+        .unwrap_or_else(|e| fail(&format!("cannot read logs under {logs}: {e}")));
+    if snap.models.is_empty() {
+        fail(&format!("no run-{}-<model>.jsonl logs found under {logs}", harness));
+    }
+    let out_path =
+        out.unwrap_or_else(|| format!("results/BENCH_{}.json", rtgcn_telemetry::sanitize_label(&harness)));
+    rtgcn_eval::write_json(&out_path, &snap)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    println!("wrote {out_path} ({} models)", snap.models.len());
+    if let Some(md_path) = md {
+        let rendered = render_markdown(&snap);
+        if let Some(dir) = PathBuf::from(&md_path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&md_path, rendered)
+            .unwrap_or_else(|e| fail(&format!("cannot write {md_path}: {e}")));
+        println!("wrote {md_path}");
+    } else {
+        print!("{}", render_markdown(&snap));
+    }
+}

@@ -6,12 +6,17 @@
 //! - [`cli`] — harness flags (`--scale`, `--seeds`, `--epochs`, ...);
 //! - [`models`] — the unified [`models::Spec`] over RT-GCN, its ablations
 //!   and all baselines;
-//! - [`runner`] — seeded fit + backtest orchestration and aggregation.
+//! - [`runner`] — seeded fit + backtest orchestration and aggregation;
+//! - [`snapshot`] — fold telemetry JSONL run logs into machine-readable
+//!   `BENCH_<harness>.json` perf baselines and diff them for regressions
+//!   (CLI: the `rtgcn-report` binary).
 
 pub mod cli;
 pub mod models;
 pub mod runner;
+pub mod snapshot;
 
 pub use cli::{begin_model_scope, harness_error, HarnessArgs};
 pub use models::Spec;
 pub use runner::{aggregate, evaluate, run_seeds, strongest_baseline, ModelRow, SeedRun};
+pub use snapshot::{build_snapshot, diff_snapshots, render_markdown, BenchSnapshot};

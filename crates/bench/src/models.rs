@@ -93,6 +93,7 @@ fn gcn_config(
         strategy,
         use_relational,
         use_temporal,
+        abort_on_divergence: common.abort_on_divergence,
         ..Default::default()
     }
 }

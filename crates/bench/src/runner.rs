@@ -30,6 +30,9 @@ pub struct ModelRow {
     pub mrr_samples: Vec<f64>,
     pub mean_train_secs: f64,
     pub mean_test_secs: f64,
+    /// Per-seed training-health verdicts ("Healthy"/"Warn"/"Diverged");
+    /// anything but all-Healthy deserves a look before trusting the row.
+    pub health: Vec<String>,
 }
 
 /// Fit and backtest `spec` once per seed.
@@ -81,6 +84,7 @@ pub fn aggregate(spec: &Spec, runs: &[SeedRun], ks: &[usize]) -> ModelRow {
         mrr_samples,
         mean_train_secs: runs.iter().map(|r| r.fit.train_secs).sum::<f64>() / n,
         mean_test_secs: runs.iter().map(|r| r.outcome.test_secs).sum::<f64>() / n,
+        health: runs.iter().map(|r| r.fit.health.to_string()).collect(),
     }
 }
 
@@ -156,6 +160,7 @@ mod tests {
             mrr_samples: vec![],
             mean_train_secs: 0.0,
             mean_test_secs: 0.0,
+            health: vec![],
         };
         let rows = vec![mk("A", "RAN", 0.5), mk("B", "RAN", 0.9), mk("Ours", "Ours", 2.0)];
         let best = strongest_baseline(&rows, |r| r.irr.get(&1).copied()).unwrap();

@@ -62,6 +62,10 @@ pub struct RtGcnConfig {
     /// `T-Conv` = relational off.
     pub use_relational: bool,
     pub use_temporal: bool,
+    /// Stop the fit loop early once the training-health monitor reports
+    /// `HealthVerdict::Diverged` (opt-in; the default keeps the paper's
+    /// fixed epoch budget).
+    pub abort_on_divergence: bool,
 }
 
 impl Default for RtGcnConfig {
@@ -82,6 +86,7 @@ impl Default for RtGcnConfig {
             epochs: 6,
             use_relational: true,
             use_temporal: true,
+            abort_on_divergence: false,
         }
     }
 }

@@ -31,6 +31,6 @@ pub mod ranker;
 pub mod strategy;
 
 pub use config::{RtGcnConfig, Strategy};
-pub use model::RtGcn;
+pub use model::{RtGcn, StepStats};
 pub use ranker::{FitReport, PhaseSecs, StockRanker};
 pub use strategy::StrategyCtx;

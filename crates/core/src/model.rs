@@ -43,6 +43,17 @@ fn elapsed_ns(t: Instant) -> u64 {
     t.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
+/// Per-step diagnostics from [`RtGcn::train_step_stats`]: the combined loss,
+/// its MSE and pairwise-ranking components (Eq. 9), and the pre-clip global
+/// gradient L2 norm — the inputs of the training-health monitor.
+#[derive(Clone, Copy, Debug)]
+pub struct StepStats {
+    pub loss: f32,
+    pub mse: f32,
+    pub rank: f32,
+    pub grad_norm: f32,
+}
+
 /// A ready-to-train RT-GCN over a fixed stock universe and relation tensor.
 pub struct RtGcn {
     pub config: RtGcnConfig,
@@ -211,15 +222,22 @@ impl RtGcn {
 
     /// One optimisation step on a single day's window. Returns the loss.
     pub fn train_step(&mut self, x: &Tensor, y: &Tensor, opt: &mut dyn Optimizer) -> f32 {
+        self.train_step_stats(x, y, opt).loss
+    }
+
+    /// [`train_step`](Self::train_step) plus the per-step diagnostics the
+    /// training-health monitor consumes: the loss components of Eq. 9 and
+    /// the pre-clip global gradient L2 norm.
+    pub fn train_step_stats(&mut self, x: &Tensor, y: &Tensor, opt: &mut dyn Optimizer) -> StepStats {
         let mut tape = Tape::new();
         let scores = self.forward(&mut tape, x, true);
-        let (loss, loss_val) = {
+        let (loss, loss_val, mse, rank) = {
             let _span = rtgcn_telemetry::span("loss");
             let t = Instant::now();
-            let loss = tape.combined_rank_loss(scores, y, self.config.alpha);
+            let (loss, mse, rank) = tape.combined_rank_loss_parts(scores, y, self.config.alpha);
             let loss_val = tape.value(loss).item();
             self.phases.loss_ns += elapsed_ns(t);
-            (loss, loss_val)
+            (loss, loss_val, mse, rank)
         };
         {
             let _span = rtgcn_telemetry::span("backward");
@@ -228,14 +246,20 @@ impl RtGcn {
             self.store.absorb_grads(&tape);
             self.phases.backward_ns += elapsed_ns(t);
         }
-        {
+        let grad_norm = {
             let _span = rtgcn_telemetry::span("optim");
             let t = Instant::now();
-            clip_grad_norm(&mut self.store, 5.0);
+            let grad_norm = clip_grad_norm(&mut self.store, 5.0);
             opt.step(&mut self.store);
             self.phases.optim_ns += elapsed_ns(t);
-        }
-        loss_val
+            grad_norm
+        };
+        StepStats { loss: loss_val, mse, rank, grad_norm }
+    }
+
+    /// Global parameter L2 norm (the ‖θ‖ the L2 term of Eq. 9 penalises).
+    pub fn weight_norm(&self) -> f32 {
+        self.store.value_norm()
     }
 
     /// Snapshot of the strategy's weighted adjacency for introspection

@@ -5,6 +5,7 @@
 
 use crate::model::RtGcn;
 use rtgcn_market::StockDataset;
+use rtgcn_telemetry::health::{EpochHealth, HealthConfig, HealthMonitor, HealthVerdict};
 use rtgcn_tensor::Adam;
 use serde::Serialize;
 use std::time::Instant;
@@ -45,6 +46,13 @@ pub struct FitReport {
     pub epoch_secs: Vec<f64>,
     /// Per-phase breakdown (all-zero for models that don't report phases).
     pub phase_secs: PhaseSecs,
+    /// Training-health verdict, worst across epochs (`Healthy` for models
+    /// that don't run the monitor — single-shot fits like ARIMA).
+    pub health: HealthVerdict,
+    /// Per-epoch numerical diagnostics (empty for unmonitored fits). When
+    /// `abort_on_divergence` stopped the fit early this is shorter than the
+    /// configured epoch budget.
+    pub epoch_health: Vec<EpochHealth>,
 }
 
 /// A model that ranks stocks by expected next-day return ratio.
@@ -101,6 +109,13 @@ impl StockRanker for RtGcn {
             );
         }
         self.reset_phase_clock();
+        let mut monitor = HealthMonitor::new(
+            &self.name(),
+            HealthConfig {
+                abort_on_divergence: self.config.abort_on_divergence,
+                ..HealthConfig::default()
+            },
+        );
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         let mut epoch_secs = Vec::with_capacity(self.config.epochs);
         for _epoch in 0..self.config.epochs {
@@ -109,20 +124,29 @@ impl StockRanker for RtGcn {
             let mut acc = 0.0f64;
             for &day in &days {
                 let s = ds.sample(day, self.config.t_steps, self.config.n_features);
-                acc += self.train_step(&s.x, &s.y, &mut opt) as f64;
+                let st = self.train_step_stats(&s.x, &s.y, &mut opt);
+                acc += st.loss as f64;
+                monitor.observe_step(st.loss, st.mse, st.rank, st.grad_norm);
             }
             // An empty split yields NaN, not a silent 0.0 that would read as
             // a perfectly converged model downstream.
             let mean = if days.is_empty() { f32::NAN } else { (acc / days.len() as f64) as f32 };
             epoch_losses.push(mean);
             epoch_secs.push(e0.elapsed().as_secs_f64());
+            monitor.end_epoch(self.weight_norm(), self.config.lambda);
+            if monitor.should_abort() {
+                break;
+            }
         }
+        let (health, epoch_health) = monitor.finish();
         FitReport {
             train_secs: t0.elapsed().as_secs_f64(),
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
             epoch_secs,
             phase_secs: self.phase_secs(),
+            health,
+            epoch_health,
         }
     }
 
@@ -137,10 +161,7 @@ mod tests {
     use super::*;
     use crate::config::{RtGcnConfig, Strategy};
     use rtgcn_market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
-    use std::sync::Mutex;
-
-    /// Serialises tests that install/drain the global memory sink.
-    static SINK_GATE: Mutex<()> = Mutex::new(());
+    use rtgcn_telemetry::Level;
 
     fn tiny_dataset() -> StockDataset {
         let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
@@ -196,9 +217,7 @@ mod tests {
 
     #[test]
     fn zero_epoch_fit_reports_nan_and_warns() {
-        let _gate = SINK_GATE.lock().unwrap();
-        rtgcn_telemetry::set_level(rtgcn_telemetry::Level::Summary);
-        rtgcn_telemetry::install_memory_sink();
+        let _gate = rtgcn_telemetry::test_scope(Level::Summary);
         let ds = tiny_dataset();
         let relations = ds.relations(RelationKind::Both);
         let mut cfg = tiny_config(Strategy::Uniform);
@@ -217,9 +236,7 @@ mod tests {
 
     #[test]
     fn empty_training_split_reports_nan_and_warns() {
-        let _gate = SINK_GATE.lock().unwrap();
-        rtgcn_telemetry::set_level(rtgcn_telemetry::Level::Summary);
-        rtgcn_telemetry::install_memory_sink();
+        let _gate = rtgcn_telemetry::test_scope(Level::Summary);
         let ds = tiny_dataset();
         let relations = ds.relations(RelationKind::Both);
         let mut cfg = tiny_config(Strategy::Uniform);
@@ -262,6 +279,69 @@ mod tests {
             p.total(),
             report.train_secs
         );
+    }
+
+    #[test]
+    fn healthy_fit_reports_verdict_and_per_epoch_diagnostics() {
+        let _gate = rtgcn_telemetry::test_scope(Level::Summary);
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut model = RtGcn::new(tiny_config(Strategy::Weighted), &relations, 3);
+        let report = model.fit(&ds);
+        assert_eq!(report.health, HealthVerdict::Healthy, "{:?}", report.epoch_health);
+        assert_eq!(report.epoch_health.len(), 2);
+        for e in &report.epoch_health {
+            assert!(e.loss.is_finite() && e.mse.is_finite() && e.rank.is_finite());
+            assert!(e.grad_norm.is_finite() && e.grad_norm > 0.0);
+            assert!(e.weight_norm.is_finite() && e.weight_norm > 0.0);
+            assert!(e.l2 > 0.0, "λ‖θ‖² must be positive for λ > 0");
+            assert_eq!(e.non_finite_steps, 0);
+            // The components recompose the combined objective (Eq. 9).
+            let recomposed = e.mse + model.config.alpha * e.rank;
+            assert!((recomposed - e.loss).abs() < 1e-3 * e.loss.abs().max(1.0));
+        }
+        // Per-epoch series land in the registry with monotone epoch indices.
+        let loss_series = rtgcn_telemetry::series_points("fit.loss");
+        assert_eq!(loss_series.len(), 2);
+        assert!(loss_series[0].index < loss_series[1].index);
+        let events = rtgcn_telemetry::drain_memory_sink().join("\n");
+        assert!(events.contains("\"health\""), "health event missing: {events}");
+    }
+
+    #[test]
+    fn absurd_lr_diverges_warns_and_aborts_early() {
+        let _gate = rtgcn_telemetry::test_scope(Level::Summary);
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut cfg = tiny_config(Strategy::Uniform);
+        cfg.lr = 1e4; // absurd: Adam steps of ~1e4 per parameter
+        cfg.epochs = 8;
+        cfg.abort_on_divergence = true;
+        let mut model = RtGcn::new(cfg, &relations, 9);
+        let report = model.fit(&ds);
+        assert_eq!(report.health, HealthVerdict::Diverged, "{:?}", report.epoch_health);
+        assert!(
+            report.epoch_losses.len() < 8,
+            "early abort must stop before the epoch budget: ran {} epochs",
+            report.epoch_losses.len()
+        );
+        assert_eq!(report.epoch_health.len(), report.epoch_losses.len());
+        let events = rtgcn_telemetry::drain_memory_sink().join("\n");
+        assert!(events.contains("fit.diverged"), "expected fit.diverged warn: {events}");
+    }
+
+    #[test]
+    fn divergence_without_abort_runs_the_full_epoch_budget() {
+        let _gate = rtgcn_telemetry::test_scope(Level::Summary);
+        let ds = tiny_dataset();
+        let relations = ds.relations(RelationKind::Both);
+        let mut cfg = tiny_config(Strategy::Uniform);
+        cfg.lr = 1e4;
+        cfg.epochs = 3;
+        let mut model = RtGcn::new(cfg, &relations, 9);
+        let report = model.fit(&ds);
+        assert_eq!(report.health, HealthVerdict::Diverged);
+        assert_eq!(report.epoch_losses.len(), 3, "abort is opt-in");
     }
 
     #[test]

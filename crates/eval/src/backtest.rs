@@ -82,6 +82,14 @@ pub fn backtest(
     let mrr = if model.can_rank() { Some(rr_sum / days.len().max(1) as f64) } else { None };
     let daily_cumulative: BTreeMap<usize, Vec<f64>> =
         daily.iter().map(|(&k, r)| (k, cumulative_irr(r))).collect();
+    // Stream the cumulative-IRR curves (Figure 6) as gauge series so the
+    // BENCH snapshot can carry per-day investment trajectories.
+    for (&k, series) in &daily_cumulative {
+        let name = format!("backtest.irr.k{k}");
+        for (i, &v) in series.iter().enumerate() {
+            rtgcn_telemetry::gauge(&name, i as u64, v);
+        }
+    }
     let irr: BTreeMap<usize, f64> = daily_cumulative
         .iter()
         .map(|(&k, c)| (k, c.last().copied().unwrap_or(0.0)))

@@ -1,7 +1,7 @@
 //! `rtgcn-telemetry`: a zero-dependency tracing + metrics layer for the
 //! RT-GCN workspace (std + the in-repo `parking_lot`/`serde` shims only).
 //!
-//! Four primitives share one global registry:
+//! Five primitives share one global registry:
 //!
 //! - **Spans** — hierarchical RAII timers. [`span`] pushes onto a
 //!   thread-local stack; dropping the guard records `(count, total, min,
@@ -14,8 +14,18 @@
 //! - **Histograms** — fixed log-spaced bucket latency histograms
 //!   ([`record_ns`]); percentiles are estimated as the upper bound of the
 //!   bucket containing the target rank.
+//! - **Series** — named per-epoch (or per-day) scalar time series recorded
+//!   with [`gauge`]: each point is `(index, value)`, readable back in memory
+//!   via [`series_points`] and streamed to the JSONL sink as
+//!   `kind = "series"` events. The training-health monitor ([`health`])
+//!   records its per-epoch diagnostics (loss components, gradient/weight
+//!   norms) through this API.
 //! - **Warnings** — [`warn`] prints to stderr and emits a JSONL event; used
 //!   for degenerate-but-not-fatal conditions (zero-epoch fits, empty splits).
+//!
+//! Aggregated state can also be rendered as a Prometheus text-exposition
+//! dump with [`render_prometheus`] (counters, histograms, span totals and
+//! latest series values in one scrapeable string).
 //!
 //! Two sinks:
 //!
@@ -28,6 +38,11 @@
 //! The level comes from `RTGCN_LOG=off|summary|debug` (default `off` for
 //! library/test use; [`init_harness`] defaults to `summary` when the
 //! variable is unset so experiment binaries are observable out of the box).
+
+pub mod health;
+mod prometheus;
+
+pub use prometheus::render_prometheus;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -119,6 +134,7 @@ struct Registry {
     spans: Mutex<BTreeMap<String, SpanStat>>,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    series: Mutex<BTreeMap<String, Vec<SeriesPoint>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -127,6 +143,7 @@ fn registry() -> &'static Registry {
         spans: Mutex::new(BTreeMap::new()),
         counters: Mutex::new(BTreeMap::new()),
         hists: Mutex::new(BTreeMap::new()),
+        series: Mutex::new(BTreeMap::new()),
     })
 }
 
@@ -135,6 +152,17 @@ fn registry() -> &'static Registry {
 /// handles cached in hot paths (kernel call sites hold them in statics)
 /// keep feeding the registry after a reset. Histogram handles, by contrast,
 /// are re-looked-up per sample, so those entries are simply dropped.
+///
+/// # Contract
+///
+/// `reset()` races with every other registry/sink operation: a test that
+/// calls it while another test is mid-assertion on the memory sink will see
+/// the other test's state vanish. Any code that pairs `reset()` with
+/// [`install_memory_sink`]/[`set_level`] (i.e. every telemetry-asserting
+/// test) must hold the process-wide [`test_lock`] for the whole
+/// setup-act-assert sequence — [`test_scope`] bundles the common case.
+/// Production callers ([`begin_model_run`]) are single-threaded per harness
+/// and exempt.
 pub fn reset() {
     let r = registry();
     r.spans.lock().clear();
@@ -142,6 +170,36 @@ pub fn reset() {
         c.store(0, Ordering::Relaxed);
     }
     r.hists.lock().clear();
+    r.series.lock().clear();
+}
+
+// ---------------------------------------------------------------- test lock
+
+static TEST_GATE: Mutex<()> = Mutex::new(());
+
+/// Guard returned by [`test_lock`]/[`test_scope`]; releases the process-wide
+/// telemetry test mutex on drop.
+pub struct TestGuard(#[allow(dead_code)] parking_lot::MutexGuard<'static, ()>);
+
+/// Acquire the process-wide lock that serialises tests mutating global
+/// telemetry state (level, registry, sink). See the contract on [`reset`].
+/// Every integration/unit test that calls [`reset`], [`set_level`] or
+/// [`install_memory_sink`] must hold this guard for its full duration;
+/// otherwise parallel test threads interleave installs and drains and
+/// assertions read each other's events.
+pub fn test_lock() -> TestGuard {
+    TestGuard(TEST_GATE.lock())
+}
+
+/// [`test_lock`] plus the standard test preamble: set `level`, clear the
+/// registry, route events to a fresh (drained) memory sink.
+pub fn test_scope(level: Level) -> TestGuard {
+    let guard = test_lock();
+    set_level(level);
+    reset();
+    install_memory_sink();
+    drain_memory_sink();
+    guard
 }
 
 // ---------------------------------------------------------------- spans
@@ -322,12 +380,16 @@ impl Histogram {
         self.sum_ns.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
     }
 
-    /// Estimated `q`-quantile in ns (`q` in `[0, 1]`); 0 when empty.
+    /// Estimated `q`-quantile in ns. `q` is clamped into `[0, 1]` (so
+    /// `q = -3.0` behaves like `q = 0.0` and `q = 7.0` like `q = 1.0`);
+    /// `q = NaN` and empty histograms return 0 rather than panicking or
+    /// picking a garbage bucket.
     pub fn percentile(&self, q: f64) -> u64 {
         let total = self.count();
-        if total == 0 {
+        if total == 0 || q.is_nan() {
             return 0;
         }
+        let q = q.clamp(0.0, 1.0);
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for i in 0..=HIST_BUCKETS {
@@ -354,6 +416,47 @@ pub fn record_ns(name: &str, ns: u64) {
     }
 }
 
+// ---------------------------------------------------------------- series
+
+/// One `(index, value)` sample of a named scalar time series. `index` is the
+/// caller's ordinal (epoch number, test-day number); values are whatever
+/// scalar the series tracks (loss, gradient norm, cumulative IRR, ...).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    pub index: u64,
+    pub value: f64,
+}
+
+/// Record one point of the named scalar series (`Summary` and above): the
+/// point is appended to the in-memory registry (readable with
+/// [`series_points`]) and streamed to the JSONL sink as a `series` event
+/// with `count = index` and `value = value`.
+pub fn gauge(name: &str, index: u64, value: f64) {
+    if !enabled(Level::Summary) {
+        return;
+    }
+    registry()
+        .series
+        .lock()
+        .entry(name.to_string())
+        .or_default()
+        .push(SeriesPoint { index, value });
+    emit(&Event::series(name, index, value));
+}
+
+/// Read back every recorded point of the named series (empty if unknown).
+/// Points appear in recording order; [`gauge`] callers that use a
+/// monotonically increasing `index` (the health monitor's epoch counter)
+/// therefore read back monotone indices.
+pub fn series_points(name: &str) -> Vec<SeriesPoint> {
+    registry().series.lock().get(name).cloned().unwrap_or_default()
+}
+
+/// Names of all series recorded since the last [`reset`], sorted.
+pub fn series_names() -> Vec<String> {
+    registry().series.lock().keys().cloned().collect()
+}
+
 // ---------------------------------------------------------------- events
 
 /// One JSONL line. A flat schema (no `Option`s, no nesting) keeps every
@@ -363,6 +466,10 @@ pub fn record_ns(name: &str, ns: u64) {
 /// - `kind = "counter"`: counter `name` reached `count`.
 /// - `kind = "hist"`: histogram `name` with `count` samples and
 ///   `p50_ns`/`p95_ns`/`p99_ns` estimates (`total_ns` carries the sum).
+/// - `kind = "series"`: one point of scalar series `name` — ordinal in
+///   `count`, sample in `value` (NaN serialises as `null`).
+/// - `kind = "health"`: end-of-fit training-health record — model in `name`,
+///   verdict in `msg`, epochs observed in `count`, final loss in `value`.
 /// - `kind = "warn"`: warning code in `name`, text in `msg`.
 /// - `kind = "meta"`: run metadata (harness/model labels) in `name`/`msg`.
 ///
@@ -377,6 +484,7 @@ pub struct Event {
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
+    pub value: f64,
     pub msg: String,
 }
 
@@ -398,6 +506,7 @@ impl Event {
             p50_ns: 0,
             p95_ns: 0,
             p99_ns: 0,
+            value: 0.0,
             msg: String::new(),
         }
     }
@@ -408,6 +517,10 @@ impl Event {
 
     pub fn counter(name: &str, value: u64) -> Event {
         Event { count: value, ..Event::blank("counter", name) }
+    }
+
+    pub fn series(name: &str, index: u64, value: f64) -> Event {
+        Event { count: index, value, ..Event::blank("series", name) }
     }
 
     pub fn warn(code: &str, msg: &str) -> Event {
@@ -567,6 +680,15 @@ pub fn render_summary() -> String {
                 format_ns(h.percentile(0.99)),
                 h.count(),
             ));
+        }
+    }
+    drop(hists);
+    let series = r.series.lock();
+    if !series.is_empty() {
+        out.push_str("series (last | n):\n");
+        for (name, points) in series.iter() {
+            let last = points.last().map(|p| p.value).unwrap_or(f64::NAN);
+            out.push_str(&format!("  {name:<34} {last:.6} | {}\n", points.len()));
         }
     }
     out

@@ -1,0 +1,138 @@
+//! Prometheus text-exposition rendering of the aggregate registry: one call
+//! turns counters, histograms, span totals and series into a scrapeable
+//! string — useful for snapshotting perf state without a JSONL consumer.
+
+use crate::{registry, Histogram, HIST_BUCKETS};
+use std::fmt::Write;
+use std::sync::atomic::Ordering;
+
+/// Map an internal dotted name (`backtest.day_score_ns`) onto a valid
+/// Prometheus metric name (`rtgcn_backtest_day_score_ns`).
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("rtgcn_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format (backslash, quote, LF).
+fn label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render the registry in the Prometheus text exposition format:
+///
+/// - counters → `rtgcn_<name>_total` (TYPE `counter`);
+/// - histograms → `rtgcn_<name>` with cumulative `_bucket{le="…"}` lines
+///   (upper bounds in ns), `_sum` and `_count` (TYPE `histogram`);
+/// - span aggregates → `rtgcn_span_total_ns{path="…"}` and
+///   `rtgcn_span_count{path="…"}`;
+/// - series → a gauge holding the latest recorded value.
+///
+/// Zero-valued counters and empty sections are omitted, so the dump is empty
+/// when nothing has been recorded.
+pub fn render_prometheus() -> String {
+    let r = registry();
+    let mut out = String::new();
+    for (name, c) in r.counters.lock().iter() {
+        let v = c.load(Ordering::Relaxed);
+        if v == 0 {
+            continue;
+        }
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m}_total counter");
+        let _ = writeln!(out, "{m}_total {v}");
+    }
+    for (name, h) in r.hists.lock().iter() {
+        let total = h.count();
+        if total == 0 {
+            continue;
+        }
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let mut cumulative = 0u64;
+        for i in 0..=HIST_BUCKETS {
+            let n = h.buckets[i].load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            if i < HIST_BUCKETS {
+                let _ =
+                    writeln!(out, "{m}_bucket{{le=\"{}\"}} {cumulative}", Histogram::bound(i));
+            }
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {total}");
+        let _ = writeln!(out, "{m}_sum {}", h.sum_ns.load(Ordering::Relaxed));
+        let _ = writeln!(out, "{m}_count {total}");
+    }
+    let spans = r.spans.lock();
+    if !spans.is_empty() {
+        let _ = writeln!(out, "# TYPE rtgcn_span_total_ns counter");
+        let _ = writeln!(out, "# TYPE rtgcn_span_count counter");
+        for (path, st) in spans.iter() {
+            let p = label_value(path);
+            let _ = writeln!(out, "rtgcn_span_total_ns{{path=\"{p}\"}} {}", st.total_ns);
+            let _ = writeln!(out, "rtgcn_span_count{{path=\"{p}\"}} {}", st.count);
+        }
+    }
+    drop(spans);
+    for (name, points) in r.series.lock().iter() {
+        let Some(last) = points.last() else { continue };
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {}", last.value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{count, gauge, record_ns, span, test_scope, Level};
+
+    #[test]
+    fn renders_all_four_sections() {
+        let _g = test_scope(Level::Summary);
+        count("tensor.matmul_calls", 3);
+        record_ns("backtest.day_score_ns", 100);
+        record_ns("backtest.day_score_ns", 100_000);
+        gauge("fit.loss", 0, 0.5);
+        gauge("fit.loss", 1, 0.25);
+        drop(span("fit"));
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE rtgcn_tensor_matmul_calls_total counter"), "{text}");
+        assert!(text.contains("rtgcn_tensor_matmul_calls_total 3"), "{text}");
+        assert!(text.contains("# TYPE rtgcn_backtest_day_score_ns histogram"), "{text}");
+        assert!(text.contains("rtgcn_backtest_day_score_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("rtgcn_backtest_day_score_ns_count 2"), "{text}");
+        assert!(text.contains("rtgcn_span_count{path=\"fit\"} 1"), "{text}");
+        // Series render as a gauge holding the latest value.
+        assert!(text.contains("# TYPE rtgcn_fit_loss gauge"), "{text}");
+        assert!(text.contains("rtgcn_fit_loss 0.25"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sorted() {
+        let _g = test_scope(Level::Summary);
+        record_ns("h", 64); // first bucket
+        record_ns("h", 64);
+        record_ns("h", 8_192);
+        let text = render_prometheus();
+        assert!(text.contains("rtgcn_h_bucket{le=\"64\"} 2"), "{text}");
+        assert!(text.contains("rtgcn_h_bucket{le=\"8192\"} 3"), "{text}");
+        assert!(text.contains("rtgcn_h_sum 8320"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let _g = test_scope(Level::Summary);
+        assert!(render_prometheus().is_empty());
+    }
+}

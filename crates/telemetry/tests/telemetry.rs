@@ -1,24 +1,14 @@
 //! Integration tests for the telemetry layer. All of these touch global
-//! state (level, registry, sink), so each test grabs `GATE` first; Rust runs
-//! integration tests in threads within one process.
+//! state (level, registry, sink), so each test holds the crate's exported
+//! test lock — `tel::test_scope` — for its full duration; Rust runs
+//! integration tests in threads within one process (see the contract on
+//! `reset()`).
 
 use rtgcn_telemetry as tel;
-use std::sync::Mutex;
 use std::time::Duration;
 
-static GATE: Mutex<()> = Mutex::new(());
-
-fn locked() -> std::sync::MutexGuard<'static, ()> {
-    GATE.lock().unwrap_or_else(|p| p.into_inner())
-}
-
-fn fresh(level: tel::Level) -> std::sync::MutexGuard<'static, ()> {
-    let g = locked();
-    tel::set_level(level);
-    tel::reset();
-    tel::install_memory_sink();
-    tel::drain_memory_sink();
-    g
+fn fresh(level: tel::Level) -> tel::TestGuard {
+    tel::test_scope(level)
 }
 
 #[test]
@@ -115,6 +105,58 @@ fn histogram_empty_and_single_sample() {
     h.record(1);
     assert_eq!(h.percentile(0.0), 64); // clamped to rank 1 → first bucket bound
     assert_eq!(h.percentile(1.0), 64);
+}
+
+#[test]
+fn percentile_is_robust_to_degenerate_q() {
+    let _g = fresh(tel::Level::Summary);
+    let h = tel::histogram("degenerate");
+    // Empty histogram: every q, including NaN, yields 0.
+    for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+        assert_eq!(h.percentile(q), 0, "empty histogram must return 0 for q={q}");
+    }
+    h.record(64);
+    h.record(8_192);
+    assert_eq!(h.percentile(f64::NAN), 0, "NaN q must not pick a garbage bucket");
+    // Out-of-range q clamps to the endpoints.
+    assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+    assert_eq!(h.percentile(2.0), h.percentile(1.0));
+    assert_eq!(h.percentile(0.0), 64);
+    assert_eq!(h.percentile(1.0), 8_192);
+}
+
+#[test]
+fn gauge_series_record_read_back_and_stream() {
+    let _g = fresh(tel::Level::Summary);
+    tel::gauge("fit.loss", 0, 1.5);
+    tel::gauge("fit.loss", 1, 0.75);
+    tel::gauge("fit.grad_norm", 0, 10.0);
+    let pts = tel::series_points("fit.loss");
+    assert_eq!(pts.len(), 2);
+    assert_eq!(pts[0], tel::SeriesPoint { index: 0, value: 1.5 });
+    assert_eq!(pts[1], tel::SeriesPoint { index: 1, value: 0.75 });
+    assert_eq!(tel::series_names(), vec!["fit.grad_norm".to_string(), "fit.loss".to_string()]);
+    assert!(tel::series_points("unknown").is_empty());
+    // Each point streams immediately as a series event with count = index.
+    let lines = tel::drain_memory_sink();
+    let events: Vec<tel::Event> =
+        lines.iter().map(|l| serde_json::from_str(l).unwrap()).collect();
+    let fit_loss: Vec<_> =
+        events.iter().filter(|e| e.kind == "series" && e.name == "fit.loss").collect();
+    assert_eq!(fit_loss.len(), 2);
+    assert_eq!(fit_loss[1].count, 1);
+    assert_eq!(fit_loss[1].value, 0.75);
+    // reset() clears series state like every other aggregate.
+    tel::reset();
+    assert!(tel::series_points("fit.loss").is_empty());
+}
+
+#[test]
+fn gauges_are_inert_at_level_off() {
+    let _g = fresh(tel::Level::Off);
+    tel::gauge("quiet", 0, 1.0);
+    assert!(tel::series_points("quiet").is_empty());
+    assert!(tel::drain_memory_sink().is_empty());
 }
 
 #[test]

@@ -104,10 +104,25 @@ impl Tape {
     /// The paper's combined objective without the L2 term (that lives in the
     /// optimiser): `τ_reg + α · τ_rank` (Eq. 9).
     pub fn combined_rank_loss(&mut self, pred: Var, target: &Tensor, alpha: f32) -> Var {
+        self.combined_rank_loss_parts(pred, target, alpha).0
+    }
+
+    /// [`combined_rank_loss`](Self::combined_rank_loss) plus the scalar
+    /// values of its two components, `(loss, τ_reg, τ_rank)` — the unscaled
+    /// MSE and pairwise-ranking terms that training-health monitoring tracks
+    /// per epoch. Reading the component values costs nothing extra: both
+    /// nodes already sit on the tape.
+    pub fn combined_rank_loss_parts(
+        &mut self,
+        pred: Var,
+        target: &Tensor,
+        alpha: f32,
+    ) -> (Var, f32, f32) {
         let reg = self.mse(pred, target);
         let rank = self.pairwise_rank_loss(pred, target);
+        let (reg_val, rank_val) = (self.value(reg).item(), self.value(rank).item());
         let scaled = self.scale(rank, alpha);
-        self.add(reg, scaled)
+        (self.add(reg, scaled), reg_val, rank_val)
     }
 }
 
@@ -132,6 +147,18 @@ mod tests {
         let p0 = Tensor::from_vec(vec![0.2, -0.5, 1.4, 0.8]);
         let t = Tensor::from_vec(vec![0.0, 0.5, 1.0, -1.0]);
         check_gradient(&p0, 1e-3, 1e-2, move |tape, p| tape.mse(p, &t)).unwrap();
+    }
+
+    #[test]
+    fn combined_loss_parts_decompose() {
+        let mut tape = Tape::new();
+        let t = Tensor::from_vec(vec![0.1, -0.2, 0.3]);
+        let p = tape.leaf(Tensor::from_vec(vec![0.3, 0.1, -0.2]));
+        let (loss, mse, rank) = tape.combined_rank_loss_parts(p, &t, 0.1);
+        assert!(mse > 0.0, "discordant predictions have positive MSE");
+        assert!(rank > 0.0, "discordant predictions have positive rank loss");
+        let total = tape.value(loss).item();
+        assert!((total - (mse + 0.1 * rank)).abs() < 1e-6, "{total} vs {mse} + 0.1·{rank}");
     }
 
     #[test]

@@ -3,21 +3,30 @@
 # paper-style table to its log and writes a JSON artifact into results/;
 # telemetry JSONL streams land next to the .txt captures (see --logs).
 #
-# Usage: ./run_experiments.sh [--logs DIR]
-#   --logs DIR   directory for harness stdout captures and telemetry JSONL
-#                (default results/logs; forwarded to every harness binary)
+# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot]
+#   --logs DIR        directory for harness stdout captures and telemetry
+#                     JSONL (default results/logs; forwarded to every
+#                     harness binary)
+#   --bench-snapshot  after the queue, fold the table4 run logs into
+#                     results/BENCH_table4.json via rtgcn-report; if
+#                     results/BENCH_table4.baseline.json exists, diff
+#                     against it and fail (exit 3) on any >20% perf
+#                     regression
 set -e
 set -x
 cd /root/repo
 
 R=results/logs
+SNAPSHOT=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --logs)
       [ $# -ge 2 ] || { echo "error[run_experiments]: --logs requires a value" >&2; exit 2; }
       R="$2"; shift 2 ;;
+    --bench-snapshot)
+      SNAPSHOT=1; shift ;;
     *)
-      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR])" >&2; exit 2 ;;
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot])" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$R"
@@ -41,4 +50,16 @@ $B/fig7_hyperparams  --logs "$R" --markets csi --seeds 1 --epochs 3 > $R/fig7.tx
 $B/table5_published_setting --logs "$R" --markets nasdaq --seeds 3 --epochs 3 > $R/table5.txt 2>&1
 $B/table4_baselines --logs "$R" --markets nyse --seeds 1 --epochs 2 > $R/table4_nyse.txt 2>&1
 $B/table5_published_setting --logs "$R" --markets nyse --seeds 1 --epochs 2 > $R/table5_nyse.txt 2>&1
+
+if [ "$SNAPSHOT" = 1 ]; then
+  # Machine-readable perf baseline from the table4 telemetry streams
+  # (kernel percentiles, epoch/phase timings, health verdicts). `set -e`
+  # propagates rtgcn-report's exit 3 when the diff finds a regression.
+  $B/rtgcn-report --logs "$R" --harness table4_baselines \
+    --out results/BENCH_table4.json --md results/BENCH_table4.md
+  if [ -f results/BENCH_table4.baseline.json ]; then
+    $B/rtgcn-report --baseline results/BENCH_table4.baseline.json \
+      results/BENCH_table4.json --threshold 20
+  fi
+fi
 echo ALL_EXPERIMENTS_DONE

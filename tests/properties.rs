@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use rtgcn::eval::{cumulative_irr, daily_topk_return, rank_of, reciprocal_rank, top_k_indices};
 use rtgcn::eval::{signed_rank_from_diffs, Alternative};
 use rtgcn::graph::{renormalize_uniform, RelationTensor};
+use rtgcn::telemetry as tel;
 use rtgcn::tensor::{Shape, Tape, Tensor};
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
@@ -155,5 +156,87 @@ proptest! {
         for i in 0..l / 2 {
             prop_assert!((full[i] - half[i]).abs() < 1e-4, "leak at step {i}");
         }
+    }
+
+    /// Gauge series read back exactly what was recorded, in recording order
+    /// with strictly increasing indices, regardless of the sample values.
+    #[test]
+    fn gauge_series_readback_is_order_preserving(values in proptest::collection::vec(-1e6f64..1e6, 1..40)) {
+        let _guard = tel::test_scope(tel::Level::Summary);
+        for (i, &v) in values.iter().enumerate() {
+            tel::gauge("prop.series", i as u64, v);
+        }
+        let pts = tel::series_points("prop.series");
+        prop_assert_eq!(pts.len(), values.len());
+        for (i, p) in pts.iter().enumerate() {
+            prop_assert_eq!(p.index, i as u64);
+            prop_assert_eq!(p.value, values[i]);
+            if i > 0 {
+                prop_assert!(p.index > pts[i - 1].index, "indices strictly increasing");
+            }
+        }
+    }
+
+    /// Telemetry events survive a JSONL round-trip bit-for-bit for any
+    /// finite payload (NaN legitimately degrades to null and back to NaN).
+    #[test]
+    fn event_jsonl_round_trip(
+        count in 0u64..1_000_000_000_000,
+        total_ns in 0u64..1_000_000_000_000,
+        value in -1e12f64..1e12,
+        name_sel in 0usize..4,
+        msg_sel in 0usize..3,
+    ) {
+        let names = ["fit.loss", "backtest.irr.k1", "seed/fit/epoch", "tape.nodes"];
+        let msgs = ["", "Healthy", "loss \"quoted\" \\ and escaped"];
+        let e = tel::Event {
+            ts_ms: 1,
+            kind: "series".into(),
+            name: names[name_sel].into(),
+            count,
+            total_ns,
+            p50_ns: total_ns / 2,
+            p95_ns: total_ns,
+            p99_ns: total_ns,
+            value,
+            msg: msgs[msg_sel].into(),
+        };
+        let line = serde_json::to_string(&e).unwrap();
+        let back: tel::Event = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(back, e);
+    }
+}
+
+/// A healthy short fit must come back `Healthy` with finite gradient and
+/// weight norms for every monitored epoch — the end-to-end contract of the
+/// training-health monitor through the umbrella crate.
+#[test]
+fn smoke_fit_reports_finite_health_diagnostics() {
+    use rtgcn::core::{RtGcn, RtGcnConfig, StockRanker};
+    use rtgcn::market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
+
+    let _guard = tel::test_scope(tel::Level::Summary);
+    let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
+    spec.stocks = 8;
+    spec.train_days = 30;
+    spec.test_days = 6;
+    let ds = StockDataset::generate(spec, 9);
+    let cfg = RtGcnConfig {
+        t_steps: 6,
+        n_features: 2,
+        rel_filters: 6,
+        temporal_filters: 6,
+        epochs: 2,
+        ..RtGcnConfig::default()
+    };
+    let mut model = RtGcn::new(cfg, &ds.relations(RelationKind::Both), 4);
+    let report = model.fit(&ds);
+    assert_eq!(report.health, tel::health::HealthVerdict::Healthy);
+    assert_eq!(report.epoch_health.len(), 2);
+    for eh in &report.epoch_health {
+        assert!(eh.grad_norm.is_finite() && eh.grad_norm > 0.0, "{eh:?}");
+        assert!(eh.weight_norm.is_finite() && eh.weight_norm > 0.0, "{eh:?}");
+        assert!(eh.loss.is_finite(), "{eh:?}");
+        assert_eq!(eh.non_finite_steps, 0);
     }
 }
