@@ -19,7 +19,7 @@ use rtgcn_core::{FitReport, StockRanker};
 use rtgcn_graph::RelationTensor;
 use rtgcn_market::{RelationKind, StockDataset};
 use rtgcn_telemetry::health::{HealthConfig, HealthMonitor};
-use rtgcn_tensor::{init, Adam, Edges, ParamId, ParamStore, Tape, Tensor, Var};
+use rtgcn_tensor::{init, Adam, CsrEdges, ParamId, ParamStore, Tape, Tensor, Var};
 use std::time::Instant;
 
 /// Which relation-strength function RSR uses.
@@ -72,7 +72,7 @@ pub struct Rsr {
     b_rel: Option<ParamId>,
     w_out: Option<ParamId>,
     b_out: Option<ParamId>,
-    edges: Option<Edges>,
+    csr: Option<CsrEdges>,
     multi_hot: Option<Tensor>,
     inv_deg_dst: Option<Tensor>,
 }
@@ -88,7 +88,7 @@ impl Rsr {
             b_rel: None,
             w_out: None,
             b_out: None,
-            edges: None,
+            csr: None,
             multi_hot: None,
             inv_deg_dst: None,
         }
@@ -122,14 +122,15 @@ impl Rsr {
             Tensor::new([pairs.len(), relations.num_types()], relations.edge_multi_hot_flat())
         };
         self.multi_hot = Some(hot);
-        self.edges = Some(Edges::new(n, pairs));
+        self.csr = Some(CsrEdges::from_pairs(n, pairs));
     }
 
     /// Forward to ranking scores `(N)`.
     fn forward(&self, tape: &mut Tape, x: &Tensor) -> Var {
         let n = x.dims()[1];
         let cell = self.cell.as_ref().expect("fit() builds the model first");
-        let edges = self.edges.as_ref().unwrap();
+        let csr = self.csr.as_ref().unwrap();
+        let edges = &csr.edges;
         let xs = split_window(tape, x);
         let hs = cell.encode(tape, &self.store, &xs, n);
         let e = *hs.last().expect("non-empty window"); // (N, H)
@@ -148,7 +149,7 @@ impl Rsr {
         };
         let inv_deg = tape.constant(self.inv_deg_dst.clone().unwrap());
         let weights = tape.mul(strength, inv_deg);
-        let revised = tape.spmm(edges, weights, e); // (N, H)
+        let revised = tape.spmm_csr(csr, weights, e); // (N, H)
         let revised = tape.leaky_relu(revised);
         // Concat [e ; revised] along features.
         let e_t = tape.transpose2(e);

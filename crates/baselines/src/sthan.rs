@@ -22,7 +22,7 @@ use rtgcn_core::{FitReport, StockRanker};
 use rtgcn_graph::Hypergraph;
 use rtgcn_market::{RelationKind, StockDataset};
 use rtgcn_telemetry::health::{HealthConfig, HealthMonitor};
-use rtgcn_tensor::{init, Adam, Edges, ParamId, ParamStore, Tape, Tensor, Var};
+use rtgcn_tensor::{init, Adam, CsrEdges, ParamId, ParamStore, Tape, Tensor, Var};
 use std::time::Instant;
 
 /// STHAN-SR configuration.
@@ -68,7 +68,7 @@ pub struct Sthan {
     w_hg: Option<ParamId>,
     w_out: Option<ParamId>,
     b_out: Option<ParamId>,
-    hg_edges: Option<Edges>,
+    hg_csr: Option<CsrEdges>,
     hg_weights: Option<Tensor>,
 }
 
@@ -87,7 +87,7 @@ impl Sthan {
             w_hg: None,
             w_out: None,
             b_out: None,
-            hg_edges: None,
+            hg_csr: None,
             hg_weights: None,
         }
     }
@@ -118,7 +118,7 @@ impl Sthan {
             }
         }
         let (edges, weights) = hg.propagation_edges();
-        self.hg_edges = Some(edges);
+        self.hg_csr = Some(CsrEdges::new(edges));
         self.hg_weights = Some(Tensor::from_vec(weights));
         self.w_emb = Some(self.store.add("emb.w", init::xavier([cfg.n_features, cfg.hidden], &mut rng)));
         self.b_emb = Some(self.store.add("emb.b", Tensor::zeros([cfg.hidden])));
@@ -179,7 +179,7 @@ impl Sthan {
         let z = pooled.expect("non-empty window"); // (N, H)
         // Spatial hypergraph propagation.
         let hw = tape.constant(self.hg_weights.clone().unwrap());
-        let prop = tape.spmm(self.hg_edges.as_ref().unwrap(), hw, z);
+        let prop = tape.spmm_csr(self.hg_csr.as_ref().unwrap(), hw, z);
         let w_hg = self.store.bind(tape, self.w_hg.unwrap());
         let prop = tape.matmul(prop, w_hg);
         let zp = tape.relu(prop); // (N, H)
@@ -304,7 +304,7 @@ mod tests {
         let ds = tiny_ds();
         let mut m = Sthan::new(tiny_cfg(), 3);
         m.ensure_built(&ds);
-        assert!(m.hg_edges.as_ref().unwrap().len() > ds.n_stocks(), "more than self-loops");
+        assert!(m.hg_csr.as_ref().unwrap().len() > ds.n_stocks(), "more than self-loops");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use rtgcn_bench::snapshot::{build_snapshot, diff_snapshots, render_markdown, Ben
 use std::path::PathBuf;
 use std::process::exit;
 
-const USAGE: &str = "usage:\n  rtgcn-report --logs DIR --harness NAME [--out FILE] [--md FILE]\n  rtgcn-report --baseline BASE_JSON NEW_JSON [--threshold PCT]";
+const USAGE: &str = "usage:\n  rtgcn-report --logs DIR --harness NAME [--out FILE] [--md FILE]\n  rtgcn-report --baseline BASE_JSON NEW_JSON [--threshold PCT|RATIO]\n\n--threshold accepts either a percentage (values > 3, e.g. 20 = +20%) or a\nratio multiplier (values in (1, 3], e.g. 1.25 = +25%).";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error[rtgcn-report]: {msg}");
@@ -59,9 +59,19 @@ fn main() {
                 baseline = Some((base, new));
             }
             "--threshold" => {
-                threshold = value("--threshold")
+                let raw: f64 = value("--threshold")
                     .parse()
                     .unwrap_or_else(|e| fail(&format!("--threshold: {e}")));
+                // Small values are ratio multipliers (1.25 = +25%), larger
+                // ones plain percentages (20 = +20%).
+                threshold = if raw <= 3.0 {
+                    if raw <= 1.0 {
+                        fail("--threshold ratio must be > 1.0 (e.g. 1.25 = +25%)");
+                    }
+                    (raw - 1.0) * 100.0
+                } else {
+                    raw
+                };
             }
             other => fail(&format!("unknown flag {other:?}")),
         }

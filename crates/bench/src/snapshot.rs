@@ -276,10 +276,24 @@ fn pct_change(base: f64, new: f64) -> f64 {
     100.0 * (new - base) / base
 }
 
+/// Minimum baseline magnitude for a latency metric to participate in the
+/// regression diff. Sub-millisecond paths (ARIMA scoring, DQN inference)
+/// swing far past any realistic threshold from machine noise alone
+/// (measured ±40% between same-binary runs on the single-core reference
+/// box), and a regression that stays under a millisecond cannot move an
+/// end-to-end number the repo reports.
+const HIST_FLOOR_NS: f64 = 1e6;
+
 /// Compare two snapshots; a metric regresses when it moves past
 /// `threshold_pct` in the bad direction (slower histograms / slower epochs /
-/// lower backtest throughput). Models present in only one snapshot are
-/// ignored — a roster change is not a perf regression.
+/// lower backtest throughput). Histograms are compared on their exact
+/// sample mean, not the p50/p95 bucket bounds: the buckets are log-spaced
+/// at 2x, so a bucket-bound comparison can only ever read 0% or ≥100% and
+/// trips on any sample drifting one bucket. Sub-millisecond baselines are
+/// skipped entirely (see [`HIST_FLOOR_NS`]), as is the throughput check for
+/// models whose per-day scoring baseline is sub-millisecond. Models present
+/// in only one snapshot are ignored — a roster change is not a perf
+/// regression.
 pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f64) -> Vec<Regression> {
     let mut out = Vec::new();
     for nm in &new.models {
@@ -297,13 +311,20 @@ pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: 
         };
         for nh in &nm.hists {
             if let Some(bh) = bm.hists.iter().find(|h| h.name == nh.name) {
-                slower(format!("{}.p50_ns", nh.name), bh.p50_ns as f64, nh.p50_ns as f64);
-                slower(format!("{}.p95_ns", nh.name), bh.p95_ns as f64, nh.p95_ns as f64);
+                if bh.mean_ns >= HIST_FLOOR_NS {
+                    slower(format!("{}.mean_ns", nh.name), bh.mean_ns, nh.mean_ns);
+                }
             }
         }
         slower("epoch_secs_mean".into(), bm.epoch_secs_mean, nm.epoch_secs_mean);
+        let day_mean = bm
+            .hists
+            .iter()
+            .find(|h| h.name == "backtest.day_score_ns")
+            .map(|h| h.mean_ns)
+            .unwrap_or(0.0);
         let (b, n) = (bm.backtest_days_per_sec, nm.backtest_days_per_sec);
-        if b > 0.0 && n < b * (1.0 - threshold_pct / 100.0) {
+        if day_mean >= HIST_FLOOR_NS && b > 0.0 && n < b * (1.0 - threshold_pct / 100.0) {
             out.push(Regression {
                 model: nm.model.clone(),
                 metric: "backtest_days_per_sec".into(),
@@ -391,20 +412,49 @@ mod tests {
         let base_model = model_snapshot("m", &sample_events());
         let base = BenchSnapshot { harness: "h".into(), created_ms: 0, models: vec![base_model.clone()] };
 
-        // +30% p50 → flagged at 20%; +10% p95 → not.
+        // +30% hist mean → flagged at 20%; a one-bucket p50/p95 jump alone
+        // (the bounds double per bucket, so it reads +100%) → not.
         let mut worse = base_model.clone();
-        worse.hists[0].p50_ns = (worse.hists[0].p50_ns as f64 * 1.3) as u64;
-        worse.hists[0].p95_ns = (worse.hists[0].p95_ns as f64 * 1.1) as u64;
+        worse.hists[0].mean_ns *= 1.3;
+        worse.hists[0].p50_ns *= 2;
+        worse.hists[0].p95_ns *= 2;
         worse.backtest_days_per_sec *= 0.5;
-        let new = BenchSnapshot { harness: "h".into(), created_ms: 1, models: vec![worse] };
+        let new = BenchSnapshot { harness: "h".into(), created_ms: 1, models: vec![worse.clone()] };
         let regs = diff_snapshots(&base, &new, 20.0);
         let metrics: Vec<&str> = regs.iter().map(|r| r.metric.as_str()).collect();
-        assert!(metrics.contains(&"backtest.day_score_ns.p50_ns"), "{metrics:?}");
+        assert!(metrics.contains(&"backtest.day_score_ns.mean_ns"), "{metrics:?}");
         assert!(metrics.contains(&"backtest_days_per_sec"), "{metrics:?}");
-        assert!(!metrics.iter().any(|m| m.ends_with("p95_ns")), "{metrics:?}");
+        assert!(!metrics.iter().any(|m| m.ends_with("p50_ns") || m.ends_with("p95_ns")), "{metrics:?}");
+
+        // Bucket drift with an unchanged mean → clean diff.
+        let mut bucket_only = base_model.clone();
+        bucket_only.hists[0].p50_ns *= 2;
+        bucket_only.hists[0].p95_ns *= 2;
+        let new = BenchSnapshot { harness: "h".into(), created_ms: 1, models: vec![bucket_only] };
+        assert!(diff_snapshots(&base, &new, 20.0).is_empty());
 
         // Identical snapshots → clean diff.
         assert!(diff_snapshots(&base, &base, 20.0).is_empty());
+    }
+
+    #[test]
+    fn diff_ignores_sub_millisecond_latency_paths() {
+        // A model whose scoring path is micro-latency (base mean < 1 ms):
+        // relative noise dwarfs any threshold, so neither its histogram mean
+        // nor its derived days/sec participates in the diff.
+        let mut fast = model_snapshot("m", &sample_events());
+        fast.hists[0].mean_ns = 200_000.0; // 0.2 ms
+        fast.backtest_days_per_sec = 5_000.0;
+        let base = BenchSnapshot { harness: "h".into(), created_ms: 0, models: vec![fast.clone()] };
+        let mut worse = fast.clone();
+        worse.hists[0].mean_ns *= 3.0;
+        worse.backtest_days_per_sec /= 3.0;
+        let new = BenchSnapshot { harness: "h".into(), created_ms: 1, models: vec![worse] };
+        let regs = diff_snapshots(&base, &new, 20.0);
+        assert!(
+            regs.iter().all(|r| r.metric == "epoch_secs_mean"),
+            "sub-ms paths must not be diffed: {regs:?}"
+        );
     }
 
     #[test]

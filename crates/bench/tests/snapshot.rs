@@ -4,7 +4,7 @@
 //! injected latency regression must trip the diff gate.
 
 use rtgcn_bench::snapshot::{diff_snapshots, model_snapshot, parse_events, render_markdown, BenchSnapshot};
-use rtgcn_core::{RtGcn, RtGcnConfig, StockRanker, Strategy};
+use rtgcn_core::{RtGcn, RtGcnConfig, StockRanker};
 use rtgcn_market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
 use rtgcn_telemetry as tel;
 
@@ -79,8 +79,17 @@ fn memory_sink_run_folds_into_a_live_snapshot() {
     let md = render_markdown(&snap);
     assert!(md.contains("RT-GCN (T)") && md.contains("Healthy"), "{md}");
 
-    // Injecting a +30% day-score p50 regression trips the 20% gate; the
-    // untouched snapshot diffs clean against itself.
+    // Histogram diffs compare exact means (never the 2x-spaced bucket
+    // bounds) and only for paths costing ≥1 ms at baseline, so pin the
+    // baseline day-score mean at 5 ms: a +30% regression on it trips the
+    // 20% gate, and the untouched snapshot diffs clean against itself.
+    let mut snap = snap;
+    snap.models[0]
+        .hists
+        .iter_mut()
+        .find(|h| h.name == "backtest.day_score_ns")
+        .unwrap()
+        .mean_ns = 5e6;
     assert!(diff_snapshots(&snap, &snap, 20.0).is_empty());
     let mut slow = snap.clone();
     let h = slow.models[0]
@@ -88,9 +97,9 @@ fn memory_sink_run_folds_into_a_live_snapshot() {
         .iter_mut()
         .find(|h| h.name == "backtest.day_score_ns")
         .unwrap();
-    h.p50_ns = (h.p50_ns as f64 * 1.3) as u64;
+    h.mean_ns *= 1.3;
     let regs = diff_snapshots(&snap, &slow, 20.0);
     assert_eq!(regs.len(), 1, "{regs:?}");
-    assert_eq!(regs[0].metric, "backtest.day_score_ns.p50_ns");
+    assert_eq!(regs[0].metric, "backtest.day_score_ns.mean_ns");
     assert!(regs[0].pct > 20.0);
 }

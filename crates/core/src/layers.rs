@@ -86,6 +86,53 @@ impl RelationalConv {
             })
             .collect()
     }
+
+    /// Fused forward over all time-steps: `x3` is the full `(T, N, C)`
+    /// window, the result `(T, N, F)`. All planes share one
+    /// `(T·N, C) × (C, F)` matmul per weight matrix and one batched
+    /// propagation through the cached CSR layout, instead of `T` separate
+    /// spmm + matmul chains. `training` selects the on-tape (differentiable)
+    /// adjacency for the Weighted strategy; at inference it goes through
+    /// [`NormalizedAdjCache::normalized_frozen`](rtgcn_graph::NormalizedAdjCache::normalized_frozen)
+    /// instead, so repeated scoring renormalises once per parameter vector.
+    pub fn forward_fused(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        ctx: &StrategyCtx,
+        x3: Var,
+        training: bool,
+    ) -> Var {
+        let dims = tape.value(x3).dims().to_vec();
+        let (t, n, c) = (dims[0], dims[1], dims[2]);
+        let out_dim = store.value(self.theta).dims()[1];
+        let adj = match self.strategy {
+            Strategy::Uniform => tape.constant(Tensor::from_vec(ctx.cache.uniform().as_ref().clone())),
+            Strategy::Weighted if training => {
+                let w = store.bind(tape, self.w_rel);
+                let b = store.bind(tape, self.b_rel);
+                ctx.adjacency_weighted(tape, w, b)
+            }
+            Strategy::Weighted => {
+                ctx.adjacency_weighted_frozen(tape, store.value(self.w_rel), store.value(self.b_rel))
+            }
+            Strategy::TimeSensitive => {
+                let w = store.bind(tape, self.w_rel);
+                let b = store.bind(tape, self.b_rel);
+                ctx.adjacency_time_sensitive_batched(tape, w, b, x3)
+            }
+        };
+        let theta_self = store.bind(tape, self.theta_self);
+        let theta = store.bind(tape, self.theta);
+        let x2 = tape.reshape(x3, [t * n, c]);
+        let own = tape.matmul(x2, theta_self);
+        let agg = tape.spmm_batched(ctx.csr(), adj, x3); // (T, N, C)
+        let agg2 = tape.reshape(agg, [t * n, c]);
+        let nbr = tape.matmul(agg2, theta);
+        let z = tape.add(own, nbr);
+        let a = tape.relu(z);
+        tape.reshape(a, [t, n, out_dim])
+    }
 }
 
 /// Weight-normalised causal temporal convolution block: conv → ReLU →
@@ -229,6 +276,41 @@ mod tests {
         let pert0 = run(Tensor::new([3, 2], vec![9., 9., 1., 1., 1., 1.]));
         let row2_changed = (0..3).any(|f| (base.at(&[2, f]) - pert0.at(&[2, f])).abs() > 1e-6);
         assert!(!row2_changed, "node 2 must be unaffected by non-neighbour node 0");
+    }
+
+    #[test]
+    fn fused_forward_matches_serial_per_plane() {
+        let (t, n, d, f) = (4, 3, 2, 5);
+        let data: Vec<f32> =
+            (0..t * n * d).map(|i| ((i * 31 + 7) % 23) as f32 / 23.0 - 0.4).collect();
+        for strategy in Strategy::ALL {
+            for training in [false, true] {
+                let mut store = ParamStore::new();
+                let mut rng = init::rng(9);
+                let conv = RelationalConv::new(&mut store, "rc", d, f, 2, strategy, &mut rng);
+                let ctx = ctx3();
+                let mut tape = Tape::new();
+                let xs: Vec<Var> = (0..t)
+                    .map(|p| {
+                        tape.constant(Tensor::new([n, d], data[p * n * d..(p + 1) * n * d].to_vec()))
+                    })
+                    .collect();
+                let serial = conv.forward(&mut tape, &store, &ctx, &xs);
+                let x3 = tape.constant(Tensor::new([t, n, d], data.clone()));
+                let fused = conv.forward_fused(&mut tape, &store, &ctx, x3, training);
+                assert_eq!(tape.value(fused).dims(), &[t, n, f]);
+                for (p, &s) in serial.iter().enumerate() {
+                    let got = &tape.value(fused).data()[p * n * f..(p + 1) * n * f];
+                    for (g, e) in got.iter().zip(tape.value(s).data()) {
+                        assert!(
+                            (g - e).abs() <= 1e-6 * e.abs().max(1.0),
+                            "{strategy:?} training={training} plane {p}: fused {g} vs serial {e}"
+                        );
+                    }
+                }
+                store.clear_bindings();
+            }
+        }
     }
 
     #[test]

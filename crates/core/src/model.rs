@@ -153,12 +153,18 @@ impl RtGcn {
         self.store.load(path)
     }
 
-    /// Split an `(T, N, D)` input tensor into per-plane `(N, D)` vars.
-    fn split_steps(&self, tape: &mut Tape, x: &Tensor) -> Vec<Var> {
+    /// Check the `(T, N, D)` input against the configuration.
+    fn check_input(&self, x: &Tensor) {
         let (t, n, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         assert_eq!(t, self.config.t_steps, "input window length mismatch");
         assert_eq!(n, self.n_stocks, "stock count mismatch");
         assert_eq!(d, self.config.n_features, "feature count mismatch");
+    }
+
+    /// Split an `(T, N, D)` input tensor into per-plane `(N, D)` vars.
+    fn split_steps(&self, tape: &mut Tape, x: &Tensor) -> Vec<Var> {
+        self.check_input(x);
+        let (t, n, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         let xv = tape.constant(x.clone());
         (0..t)
             .map(|s| {
@@ -168,8 +174,62 @@ impl RtGcn {
             .collect()
     }
 
-    /// Forward pass producing the ranking scores `r̂ ∈ R^N`.
+    /// Forward pass producing the ranking scores `r̂ ∈ R^N`. Dispatches to
+    /// the fused time-batched kernels (the default) or the serial per-plane
+    /// reference path (`config.fused = false`, kept for parity testing and
+    /// before/after benchmarking). Both paths record the same
+    /// `kernel.gcn.*` latency histograms, so `rtgcn-report` snapshots stay
+    /// comparable across the flag.
     pub fn forward(&mut self, tape: &mut Tape, x: &Tensor, training: bool) -> Var {
+        if self.config.fused {
+            self.forward_fused(tape, x, training)
+        } else {
+            self.forward_serial(tape, x, training)
+        }
+    }
+
+    /// Fused path: the window stays a rank-3 `(T, N, C)` tensor end to end —
+    /// one batched propagation + two `(T·N, C)` matmuls per relational
+    /// layer, permutes (no per-plane slicing) around the TCN.
+    fn forward_fused(&mut self, tape: &mut Tape, x: &Tensor, training: bool) -> Var {
+        self.check_input(x);
+        let n = self.n_stocks;
+        let mut cur = tape.constant(x.clone()); // (T, N, C)
+        let (mut rel_i, mut tcn_i) = (0usize, 0usize);
+        for _layer in 0..self.config.layers {
+            if self.config.use_relational {
+                let _span = rtgcn_telemetry::span("relational");
+                let t = Instant::now();
+                cur = self.rel_convs[rel_i].forward_fused(tape, &self.store, &self.ctx, cur, training);
+                let dt = elapsed_ns(t);
+                self.phases.relational_ns += dt;
+                rtgcn_telemetry::record_ns("kernel.gcn.relational_ns", dt);
+                rel_i += 1;
+            }
+            if self.config.use_temporal {
+                let _span = rtgcn_telemetry::span("temporal");
+                let t = Instant::now();
+                let nct = tape.permute3(cur, [1, 2, 0]); // (N, C, T)
+                let out =
+                    self.tcn_blocks[tcn_i].forward(tape, &self.store, nct, training, &mut self.rng);
+                tcn_i += 1;
+                cur = tape.permute3(out, [2, 0, 1]); // (T', N, C)
+                let dt = elapsed_ns(t);
+                self.phases.temporal_ns += dt;
+                rtgcn_telemetry::record_ns("kernel.gcn.temporal_ns", dt);
+            }
+        }
+        // Average pooling over the remaining temporal dimension (stride = H).
+        let pooled = tape.mean_axis(cur, 0); // (N, C)
+        let fc_w = self.store.bind(tape, self.fc_w);
+        let fc_b = self.store.bind(tape, self.fc_b);
+        let scores = tape.linear(pooled, fc_w, fc_b); // (N, 1)
+        tape.reshape(scores, [n])
+    }
+
+    /// Serial reference path: one `(N, D)` var per plane, `T` separate
+    /// spmm + matmul chains per relational layer.
+    fn forward_serial(&mut self, tape: &mut Tape, x: &Tensor, training: bool) -> Var {
         let mut xs = self.split_steps(tape, x);
         let n = self.n_stocks;
         let (mut rel_i, mut tcn_i) = (0usize, 0usize);
@@ -178,7 +238,9 @@ impl RtGcn {
                 let _span = rtgcn_telemetry::span("relational");
                 let t = Instant::now();
                 xs = self.rel_convs[rel_i].forward(tape, &self.store, &self.ctx, &xs);
-                self.phases.relational_ns += elapsed_ns(t);
+                let dt = elapsed_ns(t);
+                self.phases.relational_ns += dt;
+                rtgcn_telemetry::record_ns("kernel.gcn.relational_ns", dt);
                 rel_i += 1;
             }
             if self.config.use_temporal {
@@ -199,7 +261,9 @@ impl RtGcn {
                         tape.reshape(plane, [n, c])
                     })
                     .collect();
-                self.phases.temporal_ns += elapsed_ns(t);
+                let dt = elapsed_ns(t);
+                self.phases.temporal_ns += dt;
+                rtgcn_telemetry::record_ns("kernel.gcn.temporal_ns", dt);
             }
         }
         // Average pooling over the remaining temporal dimension (stride = H).
@@ -356,6 +420,55 @@ mod tests {
         let mut model = RtGcn::new(cfg, &relations(4), 5);
         let (x, _) = toy_input(12, 4, 2, 6);
         assert_eq!(model.score(&x).len(), 4);
+    }
+
+    #[test]
+    fn fused_and_serial_scores_match() {
+        for strategy in Strategy::ALL {
+            let mut cfg = RtGcnConfig::with_strategy(strategy);
+            cfg.t_steps = 8;
+            cfg.n_features = 3;
+            cfg.dropout = 0.0;
+            cfg.fused = true;
+            let mut serial_cfg = cfg.clone();
+            serial_cfg.fused = false;
+            let rel = relations(5);
+            let mut fused = RtGcn::new(cfg, &rel, 21);
+            let mut serial = RtGcn::new(serial_cfg, &rel, 21);
+            let (x, _) = toy_input(8, 5, 3, 22);
+            let (sf, ss) = (fused.score(&x), serial.score(&x));
+            for (f, s) in sf.iter().zip(&ss) {
+                assert!(
+                    (f - s).abs() <= 1e-6 * s.abs().max(1.0),
+                    "{strategy:?}: fused {f} vs serial {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_training_tracks_serial_losses() {
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::TimeSensitive);
+        cfg.t_steps = 8;
+        cfg.n_features = 2;
+        cfg.dropout = 0.0;
+        cfg.fused = true;
+        let mut serial_cfg = cfg.clone();
+        serial_cfg.fused = false;
+        let rel = relations(5);
+        let mut fused = RtGcn::new(cfg, &rel, 23);
+        let mut serial = RtGcn::new(serial_cfg, &rel, 23);
+        let (x, y) = toy_input(8, 5, 2, 24);
+        let mut opt_f = Adam::new(1e-3, 0.0);
+        let mut opt_s = Adam::new(1e-3, 0.0);
+        for step in 0..5 {
+            let lf = fused.train_step(&x, &y, &mut opt_f);
+            let ls = serial.train_step(&x, &y, &mut opt_s);
+            assert!(
+                (lf - ls).abs() <= 1e-3 * ls.abs().max(1.0),
+                "step {step}: fused loss {lf} vs serial {ls}"
+            );
+        }
     }
 
     #[test]

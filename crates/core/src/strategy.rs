@@ -5,17 +5,22 @@
 //! strategy parameters `w ∈ R^K, b` (and, for the time-sensitive strategy,
 //! the node features).
 
-use rtgcn_graph::{renormalize_uniform, RelationTensor, DEGREE_EPS};
-use rtgcn_tensor::{Edges, Tape, Tensor, Var};
+use rtgcn_graph::{NormalizedAdjCache, RelationTensor, DEGREE_EPS};
+use rtgcn_tensor::{CsrEdges, Edges, Tape, Tensor, Var};
 
 /// Static per-dataset context shared by every forward pass: the directed
-/// relation edges with self-loops appended, the per-edge multi-hot relation
-/// vectors, and the precomputed uniform-strategy weights.
+/// relation edges with self-loops appended (plus their CSR grouping and the
+/// precomputed/memoised normalised adjacencies in [`NormalizedAdjCache`]),
+/// the per-edge multi-hot relation vectors, and the precomputed
+/// uniform-strategy weights.
 #[derive(Clone, Debug)]
 pub struct StrategyCtx {
     /// Relation edges followed by one self-loop per node (order matters:
     /// weight vectors are laid out the same way).
     pub edges: Edges,
+    /// The leading relation edges only (no self-loops), `Arc`-backed; the
+    /// edge set of the time-correlation term.
+    pub rel_edges: Edges,
     /// Number of leading relation edges (the rest are self-loops).
     pub n_rel_edges: usize,
     /// Number of relation types K.
@@ -24,31 +29,41 @@ pub struct StrategyCtx {
     pub multi_hot: Tensor,
     /// Precomputed Eq. 3 weights (already renormalised), length `E_total`.
     pub uniform_weights: Vec<f32>,
+    /// CSR layouts + static/frozen normalised adjacencies for the fused
+    /// kernels.
+    pub cache: NormalizedAdjCache,
 }
 
 impl StrategyCtx {
     pub fn new(relations: &RelationTensor) -> Self {
         let n = relations.num_stocks();
-        let rel_edges = relations.directed_edges();
-        let n_rel = rel_edges.len();
+        let rel_pairs = relations.directed_edges();
+        let n_rel = rel_pairs.len();
         let k = relations.num_types();
         let multi_hot = Tensor::new([n_rel, k.max(1)], if k == 0 {
             vec![0.0; n_rel]
         } else {
             relations.edge_multi_hot_flat()
         });
-        let norm = renormalize_uniform(n, &rel_edges);
+        let cache = NormalizedAdjCache::new(n, &rel_pairs);
         StrategyCtx {
-            edges: norm.edges,
+            edges: cache.edges().clone(),
+            rel_edges: Edges::new(n, rel_pairs),
             n_rel_edges: n_rel,
             k_types: k.max(1),
             multi_hot,
-            uniform_weights: norm.weights,
+            uniform_weights: cache.uniform().as_ref().clone(),
+            cache,
         }
     }
 
     pub fn n_nodes(&self) -> usize {
         self.edges.n
+    }
+
+    /// CSR grouping of [`Self::edges`] for the fused propagation kernels.
+    pub fn csr(&self) -> &CsrEdges {
+        self.cache.csr()
     }
 
     /// Uniform strategy (Eq. 3): constant renormalised binary adjacency.
@@ -98,14 +113,73 @@ impl StrategyCtx {
     /// dot-product gradient flows back into them.
     pub fn adjacency_time_sensitive(&self, tape: &mut Tape, w: Var, b: Var, x_t: Var) -> Var {
         let d = tape.value(x_t).dims()[1];
-        let rel_edges = Edges {
-            n: self.edges.n,
-            pairs: std::sync::Arc::new(self.edges.pairs[..self.n_rel_edges].to_vec()),
-        };
-        let corr = tape.edge_dot(&rel_edges, x_t, (d as f32).sqrt());
+        let corr = tape.edge_dot(&self.rel_edges, x_t, (d as f32).sqrt());
         let imp = self.relation_importance(tape, w, b);
         let raw = tape.mul(corr, imp);
         self.renormalize_on_tape(tape, raw)
+    }
+
+    /// Frozen weighted strategy for inference: computes `𝒜ᵀw + b` off-tape
+    /// from the parameter *values* and pulls the renormalised weights through
+    /// the [`NormalizedAdjCache`] memo, so repeated scoring against fixed
+    /// parameters renormalises once. Returns a constant (non-differentiable)
+    /// weight vector — training must use [`Self::adjacency_weighted`].
+    pub fn adjacency_weighted_frozen(&self, tape: &mut Tape, w_val: &Tensor, b_val: &Tensor) -> Var {
+        let (hot, k) = (self.multi_hot.data(), self.k_types);
+        let (wv, bv) = (w_val.data(), b_val.data()[0]);
+        let raw: Vec<f32> = (0..self.n_rel_edges)
+            .map(|e| {
+                let row = &hot[e * k..(e + 1) * k];
+                row.iter().zip(wv).map(|(h, w)| h * w).sum::<f32>() + bv
+            })
+            .collect();
+        let weights = self.cache.normalized_frozen(&raw);
+        tape.constant(Tensor::from_vec(weights.as_ref().clone()))
+    }
+
+    /// Time-sensitive strategy, fused across all `T` planes: one
+    /// `edge_dot_batched` for the `X(t)ᵀX(t)/√d` correlations, a single
+    /// shared importance term, and one batched renormalisation. `x3` is the
+    /// full `(T, N, D)` window; the result is `(T, E_total)` per-plane edge
+    /// weights for [`rtgcn_tensor::Tape::spmm_batched`]. Matches `T`
+    /// applications of [`Self::adjacency_time_sensitive`] to ~1 ulp (the
+    /// degree product associates differently).
+    pub fn adjacency_time_sensitive_batched(&self, tape: &mut Tape, w: Var, b: Var, x3: Var) -> Var {
+        let dims = tape.value(x3).dims().to_vec();
+        let (t, d) = (dims[0], dims[2]);
+        let n = self.n_nodes();
+        let raw_all = if self.n_rel_edges == 0 {
+            // No relation edges: the adjacency is self-loops only, raw
+            // weight 1 — skip the correlation term entirely (a (T,0)
+            // edge_dot has nothing to contribute).
+            tape.constant(Tensor::ones([t, n]))
+        } else {
+            let corr = tape.edge_dot_batched(&self.rel_edges, x3, (d as f32).sqrt()); // (T, E_rel)
+            let imp = self.relation_importance(tape, w, b); // (E_rel)
+            let raw_rel = tape.mul(corr, imp); // broadcast over planes
+            let loops = tape.constant(Tensor::ones([t, n]));
+            tape.concat_cols(raw_rel, loops)
+        };
+        self.renormalize_batched(tape, raw_all, t)
+    }
+
+    /// Batched renormalisation of `(T, E_total)` raw weights (self-loops
+    /// already appended): per-plane `Ã_sd / √(D̃_ss D̃_dd)` with the abs-degree
+    /// clamp, all planes in single fused kernels.
+    fn renormalize_batched(&self, tape: &mut Tape, raw_all: Var, t: usize) -> Var {
+        let n = self.n_nodes();
+        let abs_w = tape.abs(raw_all);
+        let ones_col = tape.constant(Tensor::ones([t, n, 1]));
+        let deg3 = tape.spmm_batched(self.csr(), abs_w, ones_col); // (T,N,1): Σ_in |w|
+        let deg = tape.reshape(deg3, [t, n]);
+        let deg = tape.clamp_min(deg, DEGREE_EPS);
+        let sqrt_deg = tape.sqrt(deg);
+        let one = tape.constant(Tensor::scalar(1.0));
+        let dinv = tape.div(one, sqrt_deg); // broadcast scalar / (T,N)
+        let d_src = tape.gather_src_batched(&self.edges, dinv);
+        let d_dst = tape.gather_dst_batched(&self.edges, dinv);
+        let scaled = tape.mul(raw_all, d_src);
+        tape.mul(scaled, d_dst)
     }
 }
 
@@ -212,6 +286,64 @@ mod tests {
             tape.sum_all(sq)
         })
         .unwrap();
+    }
+
+    #[test]
+    fn weighted_frozen_matches_on_tape_weighted() {
+        let rel = triangle_relations();
+        let ctx = StrategyCtx::new(&rel);
+        let w_val = Tensor::new([2, 1], vec![0.4, -0.6]);
+        let b_val = Tensor::from_vec(vec![0.25]);
+        let mut tape = Tape::new();
+        let w = tape.leaf(w_val.clone());
+        let b = tape.leaf(b_val.clone());
+        let on_tape = ctx.adjacency_weighted(&mut tape, w, b);
+        let frozen = ctx.adjacency_weighted_frozen(&mut tape, &w_val, &b_val);
+        let (a, f) = (tape.value(on_tape).clone(), tape.value(frozen).clone());
+        assert!(a.allclose(&f, 1e-6), "frozen path must match on-tape renormalisation");
+        // Second call with identical parameters must hit the memo.
+        let again = ctx.adjacency_weighted_frozen(&mut tape, &w_val, &b_val);
+        assert_eq!(tape.value(again), &f);
+    }
+
+    #[test]
+    fn time_sensitive_batched_matches_per_plane() {
+        let rel = triangle_relations();
+        let ctx = StrategyCtx::new(&rel);
+        let mut tape = Tape::new();
+        let w = tape.leaf(Tensor::new([2, 1], vec![0.5, -0.2]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.3]));
+        let x_data: Vec<f32> = (0..2 * 3 * 2).map(|i| ((i * 37 + 11) % 17) as f32 / 17.0 - 0.4).collect();
+        let x3 = tape.leaf(Tensor::new([2, 3, 2], x_data.clone()));
+        let batched = ctx.adjacency_time_sensitive_batched(&mut tape, w, b, x3);
+        assert_eq!(tape.value(batched).dims(), &[2, ctx.edges.len()]);
+        for plane in 0..2 {
+            let x_t = tape.leaf(Tensor::new([3, 2], x_data[plane * 6..(plane + 1) * 6].to_vec()));
+            let serial = ctx.adjacency_time_sensitive(&mut tape, w, b, x_t);
+            let e = ctx.edges.len();
+            let got = &tape.value(batched).data()[plane * e..(plane + 1) * e];
+            for (g, s) in got.iter().zip(tape.value(serial).data()) {
+                assert!(
+                    (g - s).abs() <= 1e-6 * s.abs().max(1.0),
+                    "plane {plane}: batched {g} vs serial {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn time_sensitive_batched_handles_empty_relations() {
+        let rel = RelationTensor::new(4, 1);
+        let ctx = StrategyCtx::new(&rel);
+        let mut tape = Tape::new();
+        let w = tape.leaf(Tensor::zeros([1, 1]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.5]));
+        let x3 = tape.leaf(Tensor::ones([3, 4, 2]));
+        let adj = ctx.adjacency_time_sensitive_batched(&mut tape, w, b, x3);
+        assert_eq!(tape.value(adj).dims(), &[3, 4]);
+        for &v in tape.value(adj).data() {
+            assert!((v - 1.0).abs() < 1e-6, "isolated self-loop weight 1, got {v}");
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Golden-fixture backtest: a 3-stock / 4-day market small enough to run by
+//! hand. Every expected value below is derived in the comments from the
+//! documented tie rules (ties broken by lower index, both in `top_k_indices`
+//! and in `rank_of`), so a regression in either metric or tie-handling shows
+//! up as an exact-number mismatch rather than a statistical drift.
+
+use rtgcn_eval::{cumulative_irr, daily_topk_return, rank_of, reciprocal_rank, top_k_indices};
+
+/// Predicted scores per day (3 stocks: A=0, B=1, C=2).
+const PRED: [[f32; 3]; 4] = [
+    [0.9, 0.5, 0.1],
+    [0.7, 0.7, 0.2], // tie between A and B at the k=1 boundary
+    [0.1, 0.2, 0.9],
+    [0.0, 0.6, 0.3],
+];
+
+/// Realised next-day return ratios per day.
+const TRUTH: [[f32; 3]; 4] = [
+    [0.02, 0.04, -0.01],
+    [0.01, 0.03, 0.02],
+    [0.05, 0.05, -0.03], // tie for the true best
+    [-0.02, 0.06, 0.01],
+];
+
+#[test]
+fn mrr_hand_computed() {
+    // Day 1: true best is B (0.04); pred ranks A(0.9) > B(0.5) → rank 2, RR ½.
+    // Day 2: true best is B (0.03); pred has A=B=0.7 and the tie rule puts the
+    //        lower index A first → B's rank is 2, RR ½.
+    // Day 3: true best is a tie A=B=0.05, resolved to A (lower index); pred
+    //        ranks C(0.9) > B(0.2) > A(0.1) → rank 3, RR ⅓.
+    // Day 4: true best is B (0.06); pred puts B first → RR 1.
+    let rrs: Vec<f64> =
+        (0..4).map(|d| reciprocal_rank(&PRED[d], &TRUTH[d])).collect();
+    assert_eq!(rrs, vec![0.5, 0.5, 1.0 / 3.0, 1.0]);
+    let mrr = rrs.iter().sum::<f64>() / 4.0;
+    assert!((mrr - 7.0 / 12.0).abs() < 1e-12, "MRR = (½+½+⅓+1)/4 = 7/12, got {mrr}");
+}
+
+#[test]
+fn tie_at_topk_boundary_resolves_to_lower_index() {
+    // Day 2, k=1: A and B tie at 0.7; the documented rule picks A (index 0).
+    assert_eq!(top_k_indices(&PRED[1], 1), vec![0]);
+    assert!((daily_topk_return(&PRED[1], &TRUTH[1], 1) - 0.01).abs() < 1e-7);
+    // k=2 crosses the same tie: both tied stocks are in, C stays out.
+    assert_eq!(top_k_indices(&PRED[1], 2), vec![0, 1]);
+    assert!((daily_topk_return(&PRED[1], &TRUTH[1], 2) - 0.02).abs() < 1e-7);
+    // rank_of uses the same convention: the tied lower index outranks.
+    assert_eq!(rank_of(&PRED[1], 0), 1);
+    assert_eq!(rank_of(&PRED[1], 1), 2);
+}
+
+#[test]
+fn irr1_hand_computed() {
+    // Top-1 picks per day: A(0.02), A-by-tie(0.01), C(−0.03), B(0.06).
+    let daily: Vec<f64> =
+        (0..4).map(|d| daily_topk_return(&PRED[d], &TRUTH[d], 1)).collect();
+    let expect = [0.02, 0.01, -0.03, 0.06];
+    for (got, want) in daily.iter().zip(expect) {
+        assert!((got - want).abs() < 1e-7, "daily {got} vs {want}");
+    }
+    let series = cumulative_irr(&daily);
+    assert_eq!(series.len(), 4);
+    // Cumulative: 0.02, 0.03, 0.00, 0.06.
+    assert!((series[1] - 0.03).abs() < 1e-7);
+    assert!((series[2] - 0.0).abs() < 1e-7);
+    assert!((series[3] - 0.06).abs() < 1e-7, "IRR-1 = 0.06, got {}", series[3]);
+}
+
+#[test]
+fn irr5_and_irr10_clamp_to_whole_market() {
+    // k=5 and k=10 both clamp to the 3 available stocks, so each day's
+    // return is the market mean and the two series are identical:
+    // (0.05 + 0.06 + 0.07 + 0.05) / 3 = 0.23/3.
+    for k in [5usize, 10] {
+        let daily: Vec<f64> =
+            (0..4).map(|d| daily_topk_return(&PRED[d], &TRUTH[d], k)).collect();
+        let irr = *cumulative_irr(&daily).last().unwrap();
+        assert!((irr - 0.23 / 3.0).abs() < 1e-7, "IRR-{k} = 0.23/3, got {irr}");
+    }
+}

@@ -14,11 +14,13 @@
 //! Differentiable propagation happens in `rtgcn-core` / `rtgcn-baselines`
 //! through `rtgcn-tensor`'s sparse kernels; this crate owns the *structure*.
 
+pub mod cache;
 pub mod hypergraph;
 pub mod norm;
 pub mod relations;
 pub mod rt_graph;
 
+pub use cache::NormalizedAdjCache;
 pub use hypergraph::Hypergraph;
 pub use norm::{renormalize, renormalize_uniform, NormalizedAdjacency, DEGREE_EPS};
 pub use relations::{RelationTensor, RelationType};

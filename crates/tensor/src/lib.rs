@@ -48,9 +48,10 @@ pub mod tape;
 mod telemetry_hooks;
 pub mod tensor;
 
-pub use ops::{ConvSpec, Edges};
+pub use linalg::{num_threads, set_num_threads};
+pub use ops::{ConvSpec, CsrEdges, Edges};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
-pub use param::{ParamId, ParamStore};
+pub use param::{check_param_gradients, ParamId, ParamStore};
 pub use shape::Shape;
 pub use tape::{check_gradient, BackwardCtx, Tape, Var};
 pub use tensor::Tensor;

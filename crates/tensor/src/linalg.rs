@@ -7,17 +7,54 @@
 //! thread startup.
 
 use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Work threshold (in fused multiply-adds) below which matmuls stay
 /// single-threaded.
 const PAR_THRESHOLD: usize = 1 << 18;
 
-fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+/// Sentinel for "no programmatic override set" in [`THREAD_OVERRIDE`].
+const THREADS_UNSET: usize = usize::MAX;
+
+/// Programmatic thread-count override (see [`set_num_threads`]); takes
+/// precedence over the `RTGCN_THREADS` environment variable.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(THREADS_UNSET);
+
+/// Force the kernel thread count from code; `Some(0)` and `Some(1)` both mean
+/// fully serial, `None` restores the `RTGCN_THREADS` / auto-detect default.
+/// Primarily for tests that must exercise both the serial and the threaded
+/// paths deterministically within one process.
+pub fn set_num_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(THREADS_UNSET), Ordering::SeqCst);
+}
+
+/// Worker-thread count for the dense and sparse kernels, resolved as:
+///
+/// 1. [`set_num_threads`] override, when set;
+/// 2. the `RTGCN_THREADS` environment variable (`0` = serial; read once,
+///    invalid values ignored);
+/// 3. `available_parallelism()` capped at 8 (the historical default; the cap
+///    avoids oversubscribing shared CI boxes, lift it explicitly via the env
+///    var on big machines).
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced != THREADS_UNSET {
+        return forced.max(1);
+    }
+    static ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let env = ENV.get_or_init(|| {
+        std::env::var("RTGCN_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+    });
+    match env {
+        Some(n) => (*n).max(1),
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+    }
 }
 
 /// Parallelise `f(row_range)` over `rows` rows when `work` is large enough.
-fn par_rows(rows: usize, work: usize, out: &mut [f32], row_len: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+/// Shared by the dense matmuls here and the fused sparse kernels in
+/// [`crate::ops::sparse`].
+pub(crate) fn par_rows(rows: usize, work: usize, out: &mut [f32], row_len: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
     let threads = num_threads();
     if work < PAR_THRESHOLD || threads <= 1 || rows < 2 * threads {
         for i in 0..rows {
@@ -226,5 +263,47 @@ mod tests {
     #[should_panic(expected = "inner dims mismatch")]
     fn matmul_dim_mismatch_panics() {
         let _ = matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    /// Serialises tests that mutate the process-global thread override.
+    fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn thread_override_resolution() {
+        let _guard = override_lock();
+        // A programmatic override beats everything; 0 degrades to serial (1).
+        set_num_threads(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_num_threads(Some(0));
+        assert_eq!(num_threads(), 1);
+        set_num_threads(None);
+        // Without an override the count comes from RTGCN_THREADS or the
+        // auto-detect fallback — either way it is at least 1.
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn serial_and_threaded_paths_agree() {
+        let _guard = override_lock();
+        // Large enough to clear PAR_THRESHOLD so the threaded branch runs.
+        let m = 96;
+        let mut seed = 9u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a = Tensor::new([m, m], (0..m * m).map(|_| next()).collect());
+        let b = Tensor::new([m, m], (0..m * m).map(|_| next()).collect());
+        set_num_threads(Some(1));
+        let serial = matmul(&a, &b);
+        set_num_threads(Some(4));
+        let threaded = matmul(&a, &b);
+        set_num_threads(None);
+        // Row partitioning does not change per-row accumulation order, so the
+        // two paths must agree bit-for-bit.
+        assert_eq!(serial.data(), threaded.data());
     }
 }

@@ -21,4 +21,4 @@ pub mod shape_ops;
 pub mod sparse;
 
 pub use conv::ConvSpec;
-pub use sparse::Edges;
+pub use sparse::{CsrEdges, Edges};

@@ -109,6 +109,34 @@ impl Tape {
         })
     }
 
+    /// Concatenate two matrices along axis 1: `(P, X) + (P, Y) → (P, X+Y)`.
+    /// Gradient splits the columns back. Used by the fused adjacency path to
+    /// append per-plane self-loop weights to the relation-edge weights.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.rank(), 2, "concat_cols expects matrices");
+        assert_eq!(bv.rank(), 2, "concat_cols expects matrices");
+        assert_eq!(av.dims()[0], bv.dims()[0], "concat_cols row-count mismatch");
+        let (rows, x, y) = (av.dims()[0], av.dims()[1], bv.dims()[1]);
+        let mut data = Vec::with_capacity(rows * (x + y));
+        for r in 0..rows {
+            data.extend_from_slice(&av.data()[r * x..(r + 1) * x]);
+            data.extend_from_slice(&bv.data()[r * y..(r + 1) * y]);
+        }
+        let out = Tensor::new([rows, x + y], data);
+        self.push_op(out, vec![a, b], move |ctx| {
+            let g = ctx.grad.data();
+            let mut ga = Vec::with_capacity(rows * x);
+            let mut gb = Vec::with_capacity(rows * y);
+            for r in 0..rows {
+                let row = &g[r * (x + y)..(r + 1) * (x + y)];
+                ga.extend_from_slice(&row[..x]);
+                gb.extend_from_slice(&row[x..]);
+            }
+            vec![Tensor::new([rows, x], ga), Tensor::new([rows, y], gb)]
+        })
+    }
+
     /// Stack equal-shaped tensors along a new leading axis.
     pub fn stack0(&mut self, xs: &[Var]) -> Var {
         assert!(!xs.is_empty(), "stack0 of zero tensors");
@@ -180,6 +208,30 @@ impl Tape {
 mod tests {
     use super::*;
     use crate::tape::check_gradient;
+
+    #[test]
+    fn concat_cols_values_and_grad() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::new([2, 2], vec![1., 2., 3., 4.]));
+        let b = tape.leaf(Tensor::new([2, 3], vec![5., 6., 7., 8., 9., 10.]));
+        let c = tape.concat_cols(a, b);
+        assert_eq!(tape.value(c).dims(), &[2, 5]);
+        assert_eq!(tape.value(c).data(), &[1., 2., 5., 6., 7., 3., 4., 8., 9., 10.]);
+        let a0 = Tensor::new([2, 2], vec![0.3, -0.5, 0.8, 0.1]);
+        check_gradient(&a0, 1e-3, 1e-2, |tape, a| {
+            let b = tape.leaf(Tensor::new([2, 1], vec![0.4, -0.9]));
+            let c = tape.concat_cols(a, b);
+            let sq = tape.square(c);
+            tape.sum_all(sq)
+        })
+        .unwrap();
+        // Zero-column operand degenerates gracefully (empty relation set).
+        let mut tape = Tape::new();
+        let empty = tape.leaf(Tensor::zeros([2, 0]));
+        let b = tape.leaf(Tensor::new([2, 2], vec![1., 2., 3., 4.]));
+        let c = tape.concat_cols(empty, b);
+        assert_eq!(tape.value(c).data(), &[1., 2., 3., 4.]);
+    }
 
     #[test]
     fn permute3_roundtrip() {

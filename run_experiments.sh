@@ -3,21 +3,29 @@
 # paper-style table to its log and writes a JSON artifact into results/;
 # telemetry JSONL streams land next to the .txt captures (see --logs).
 #
-# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot]
+# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf]
 #   --logs DIR        directory for harness stdout captures and telemetry
 #                     JSONL (default results/logs; forwarded to every
 #                     harness binary)
 #   --bench-snapshot  after the queue, fold the table4 run logs into
 #                     results/BENCH_table4.json via rtgcn-report; if
 #                     results/BENCH_table4.baseline.json exists, diff
-#                     against it and fail (exit 3) on any >20% perf
-#                     regression
+#                     against it and fail (exit 3) on any >50% perf
+#                     regression (past the single-core box's measured
+#                     same-binary noise floor)
+#   --verify-perf     fast perf gate (skips the full queue): build, run a
+#                     quick table4_baselines pass into a scratch logs dir,
+#                     snapshot it to results/BENCH_table4.verify.json, and
+#                     diff against the committed results/BENCH_table4.json
+#                     with a 1.25x ratio threshold; exits non-zero on any
+#                     >25% regression
 set -e
 set -x
 cd /root/repo
 
 R=results/logs
 SNAPSHOT=0
+VERIFY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --logs)
@@ -25,18 +33,49 @@ while [ $# -gt 0 ]; do
       R="$2"; shift 2 ;;
     --bench-snapshot)
       SNAPSHOT=1; shift ;;
+    --verify-perf)
+      VERIFY=1; shift ;;
     *)
-      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot])" >&2; exit 2 ;;
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf])" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$R"
+
+B=./target/release
+
+if [ "$VERIFY" = 1 ]; then
+  # Quick perf gate for CI / pre-commit: one cheap harness pass, then diff
+  # its snapshot against the committed baseline at a 1.25x ratio threshold.
+  # A failed diff is re-measured once before failing — single-run noise on
+  # the shared single-core box reaches ±40% on fast paths, a genuine kernel
+  # regression reproduces. --workspace matters: a bare `cargo build` only
+  # builds the root package, leaving stale harness binaries in
+  # target/release.
+  cargo build --release --workspace
+  V="$R/verify-perf"
+  attempt=1
+  while :; do
+    rm -rf "$V"
+    mkdir -p "$V"
+    $B/table4_baselines --logs "$V" --markets csi --seeds 1 --epochs 2 > "$V/table4_csi.txt" 2>&1
+    $B/rtgcn-report --logs "$V" --harness table4_baselines \
+      --out results/BENCH_table4.verify.json --md "$V/BENCH_table4.verify.md"
+    if $B/rtgcn-report --baseline results/BENCH_table4.json \
+        results/BENCH_table4.verify.json --threshold 1.25; then
+      break
+    fi
+    [ "$attempt" -ge 2 ] && { echo "VERIFY_PERF_REGRESSION (reproduced on re-measure)" >&2; exit 3; }
+    echo "verify-perf: regression on first measure; re-measuring once to rule out machine noise" >&2
+    attempt=2
+  done
+  echo VERIFY_PERF_OK
+  exit 0
+fi
 
 # Lint gate: the harnesses below silently produce wrong tables if warnings
 # (unused results, lossy casts) slip in. Offline-safe — all deps are
 # path-vendored, so clippy never touches the network.
 cargo clippy --workspace -- -D warnings
-
-B=./target/release
 $B/table2_dataset_stats --logs "$R"                    > $R/table2.txt 2>&1
 $B/table3_relation_stats --logs "$R"                   > $R/table3.txt 2>&1
 $B/table4_baselines --logs "$R" --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1
@@ -58,8 +97,10 @@ if [ "$SNAPSHOT" = 1 ]; then
   $B/rtgcn-report --logs "$R" --harness table4_baselines \
     --out results/BENCH_table4.json --md results/BENCH_table4.md
   if [ -f results/BENCH_table4.baseline.json ]; then
+    # +50%: past the measured same-binary noise floor (~±40%) of the
+    # shared single-core reference box.
     $B/rtgcn-report --baseline results/BENCH_table4.baseline.json \
-      results/BENCH_table4.json --threshold 20
+      results/BENCH_table4.json --threshold 1.5
   fi
 fi
 echo ALL_EXPERIMENTS_DONE

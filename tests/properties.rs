@@ -3,11 +3,13 @@
 //! hold for arbitrary inputs.
 
 use proptest::prelude::*;
+use rtgcn::core::layers::{RelationalConv, TemporalConvBlock};
+use rtgcn::core::{RtGcn, RtGcnConfig, Strategy as RtStrategy, StrategyCtx};
 use rtgcn::eval::{cumulative_irr, daily_topk_return, rank_of, reciprocal_rank, top_k_indices};
 use rtgcn::eval::{signed_rank_from_diffs, Alternative};
 use rtgcn::graph::{renormalize_uniform, RelationTensor};
 use rtgcn::telemetry as tel;
-use rtgcn::tensor::{Shape, Tape, Tensor};
+use rtgcn::tensor::{check_param_gradients, init, ConvSpec, ParamStore, Shape, Tape, Tensor};
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-100.0f32..100.0, len)
@@ -204,6 +206,217 @@ proptest! {
         let line = serde_json::to_string(&e).unwrap();
         let back: tel::Event = serde_json::from_str(&line).unwrap();
         prop_assert_eq!(back, e);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference gradient checks for the fused kernels (shared harness:
+// rtgcn::tensor::check_param_gradients, central differences, relative
+// tolerance 1e-4).
+// ---------------------------------------------------------------------------
+
+fn grad_check_relations() -> RelationTensor {
+    let mut r = RelationTensor::new(4, 2);
+    r.connect(0, 1, 0);
+    r.connect(1, 2, 1);
+    r.connect(0, 3, 0);
+    r
+}
+
+/// The fused relational convolution (batched spmm + time-batched matmuls)
+/// must match central differences for every parameter, under each of the
+/// three adjacency strategies — this exercises spmm_batched,
+/// edge_dot_batched, concat_cols and the batched renormalisation end to end.
+#[test]
+fn fused_relational_conv_gradient_check_all_strategies() {
+    let rel = grad_check_relations();
+    let ctx = StrategyCtx::new(&rel);
+    let mut rng = init::rng(41);
+    let x = init::normal([3, 4, 2], 0.6, &mut rng);
+    for strategy in RtStrategy::ALL {
+        let mut store = ParamStore::new();
+        let mut prng = init::rng(17);
+        let conv = RelationalConv::new(&mut store, "rc", 2, 4, 2, strategy, &mut prng);
+        check_param_gradients(&mut store, 1e-2, 1e-4, 16, |tape, store| {
+            let x3 = tape.constant(x.clone());
+            let out = conv.forward_fused(tape, store, &ctx, x3, true);
+            let sq = tape.square(out);
+            let s = tape.sum_all(sq);
+            tape.scale(s, 0.1)
+        })
+        .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+    }
+}
+
+/// Same check through the serial reference path — both implementations must
+/// be *correct*, not merely mutually consistent.
+#[test]
+fn serial_relational_conv_gradient_check_all_strategies() {
+    let rel = grad_check_relations();
+    let ctx = StrategyCtx::new(&rel);
+    let mut rng = init::rng(41);
+    let x = init::normal([3, 4, 2], 0.6, &mut rng);
+    for strategy in RtStrategy::ALL {
+        let mut store = ParamStore::new();
+        let mut prng = init::rng(17);
+        let conv = RelationalConv::new(&mut store, "rc", 2, 4, 2, strategy, &mut prng);
+        check_param_gradients(&mut store, 1e-2, 1e-4, 16, |tape, store| {
+            let xs: Vec<_> = (0..3)
+                .map(|p| {
+                    let plane: Vec<f32> = x.data()[p * 8..(p + 1) * 8].to_vec();
+                    tape.constant(Tensor::new([4, 2], plane))
+                })
+                .collect();
+            let outs = conv.forward(tape, store, &ctx, &xs);
+            let stacked = tape.stack0(&outs);
+            let sq = tape.square(stacked);
+            let s = tape.sum_all(sq);
+            tape.scale(s, 0.1)
+        })
+        .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+    }
+}
+
+/// TCN residual block (weight-norm conv → ReLU → residual/1×1 skip): FD
+/// check over v, gain, bias and the skip projection.
+#[test]
+fn temporal_conv_block_gradient_check() {
+    let mut store = ParamStore::new();
+    let mut rng = init::rng(24);
+    let spec = ConvSpec::new(3, 2, 1);
+    let block = TemporalConvBlock::new(&mut store, "tcn", 3, 4, spec, 0.0, &mut rng);
+    assert!(block.skip.is_some(), "channel change must engage the 1×1 skip");
+    let x = init::normal([2, 3, 6], 0.5, &mut rng);
+    // eps is deliberately small: the block's ReLU means a larger probe step
+    // can walk an activation across its kink and corrupt the central
+    // difference.
+    check_param_gradients(&mut store, 2e-3, 1e-4, 12, |tape, store| {
+        let xv = tape.constant(x.clone());
+        let mut drng = init::rng(0);
+        let y = block.forward(tape, store, xv, false, &mut drng);
+        let sq = tape.square(y);
+        let s = tape.sum_all(sq);
+        tape.scale(s, 0.1)
+    })
+    .unwrap();
+}
+
+/// The combined regression + pairwise-ranking objective (Eq. 9): FD check of
+/// ∂loss/∂scores through `combined_rank_loss_parts`.
+#[test]
+fn combined_rank_loss_gradient_check() {
+    let mut store = ParamStore::new();
+    let scores =
+        store.add("scores", Tensor::from_vec(vec![0.31, -0.52, 0.84, 0.12, -0.27]));
+    let y = Tensor::from_vec(vec![0.02, -0.04, 0.07, -0.01, 0.03]);
+    check_param_gradients(&mut store, 1e-2, 1e-4, 8, |tape, store| {
+        let s = store.bind(tape, scores);
+        tape.combined_rank_loss_parts(s, &y, 0.1).0
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Fused vs serial parity: identical scores and parameter gradients across
+// random shapes, strategies and graphs (ISSUE satellite 2).
+// ---------------------------------------------------------------------------
+
+/// Forward scores + absorbed parameter gradients of one combined-loss step.
+fn scores_and_grads(model: &mut RtGcn, x: &Tensor, y: &Tensor) -> (Vec<f32>, Vec<(String, Vec<f32>)>) {
+    let mut tape = Tape::new();
+    let s = model.forward(&mut tape, x, true);
+    let scores = tape.value(s).data().to_vec();
+    let loss = tape.combined_rank_loss(s, y, 0.1);
+    tape.backward(loss);
+    model.store.absorb_grads(&tape);
+    let grads = model
+        .store
+        .ids()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|id| (model.store.name(id).to_string(), model.store.grad(id).data().to_vec()))
+        .collect();
+    model.store.clear_bindings();
+    (scores, grads)
+}
+
+fn assert_parity(rel: &RelationTensor, strategy: RtStrategy, t: usize, d: usize, seed: u64) {
+    let n = rel.num_stocks();
+    let mut cfg = RtGcnConfig::with_strategy(strategy);
+    cfg.t_steps = t;
+    cfg.n_features = d;
+    cfg.rel_filters = 5;
+    cfg.temporal_filters = 4;
+    cfg.dropout = 0.0;
+    cfg.fused = true;
+    let mut serial_cfg = cfg.clone();
+    serial_cfg.fused = false;
+    let mut fused = RtGcn::new(cfg, rel, seed);
+    let mut serial = RtGcn::new(serial_cfg, rel, seed);
+    let mut rng = init::rng(seed ^ 0x9e37);
+    let x = init::normal([t, n, d], 0.5, &mut rng);
+    let y = init::normal([n], 0.05, &mut rng);
+    let (sf, gf) = scores_and_grads(&mut fused, &x, &y);
+    let (ss, gs) = scores_and_grads(&mut serial, &x, &y);
+    for (a, b) in sf.iter().zip(&ss) {
+        assert!(
+            (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+            "{strategy:?} t={t} n={n} d={d}: score fused {a} vs serial {b}"
+        );
+    }
+    assert_eq!(gf.len(), gs.len(), "same parameter set");
+    for ((name_f, ga), (name_s, gb)) in gf.iter().zip(&gs) {
+        assert_eq!(name_f, name_s);
+        for (a, b) in ga.iter().zip(gb) {
+            assert!(
+                (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+                "{strategy:?} t={t} n={n} d={d}: grad {name_f} fused {a} vs serial {b}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fused and serial paths agree to 1e-6 on scores and every parameter
+    /// gradient across random window lengths, universe sizes, feature
+    /// counts, relation types, strategies and random (possibly empty —
+    /// i.e. self-loops-only) graphs.
+    #[test]
+    fn fused_serial_parity_random_shapes(
+        t in 2usize..6,
+        n in 3usize..7,
+        d in 1usize..5,
+        k in 1usize..3,
+        strat_i in 0usize..3,
+        edges in proptest::collection::vec((0usize..7, 0usize..7, 0usize..3), 0..14),
+        seed in 0u64..1000,
+    ) {
+        let mut rel = RelationTensor::new(n, k);
+        for (i, j, ty) in edges {
+            let (i, j, ty) = (i % n, j % n, ty % k);
+            if i != j {
+                rel.connect(i, j, ty);
+            }
+        }
+        assert_parity(&rel, RtStrategy::ALL[strat_i], t, d, seed);
+    }
+}
+
+/// Degenerate graphs exercised explicitly: no relation edges at all (the
+/// renormalised adjacency is self-loops only) and a disconnected graph with
+/// isolated nodes next to one connected pair.
+#[test]
+fn fused_serial_parity_degenerate_graphs() {
+    for strategy in RtStrategy::ALL {
+        // No edges: adjacency degenerates to pure self-loops.
+        let empty = RelationTensor::new(5, 1);
+        assert_parity(&empty, strategy, 4, 2, 3);
+        // Disconnected: nodes 2..=5 isolated, one related pair at 0–1.
+        let mut disc = RelationTensor::new(6, 2);
+        disc.connect(0, 1, 1);
+        assert_parity(&disc, strategy, 3, 3, 5);
     }
 }
 
