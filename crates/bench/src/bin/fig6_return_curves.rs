@@ -88,15 +88,20 @@ fn main() {
                 index.iter().map(|&v| v as f64).collect(),
             ));
             ascii_chart(&named, 64, 12);
+            // An empty test split yields empty curves (index.degenerate /
+            // backtest.degenerate warns fire upstream); print NaN, not panic.
             let final_vals: Vec<String> = KS
                 .iter()
-                .map(|k| format!("IRR-{k} = {:+.2}", curves[&label][k].last().unwrap()))
+                .map(|k| {
+                    let v = curves[&label][k].last().copied().unwrap_or(f64::NAN);
+                    format!("IRR-{k} = {v:+.2}")
+                })
                 .collect();
             println!(
                 "    final: {}, {} = {:+.2}",
                 final_vals.join(", "),
                 market.index_name(),
-                index.last().unwrap()
+                index.last().copied().unwrap_or(f32::NAN)
             );
         }
         let artifact = CurveArtifact {

@@ -2,7 +2,7 @@
 //! NASDAQ, NYSE and CSI, with the improvement of RT-GCN (T) over the
 //! strongest baseline and paired Wilcoxon p-values over the seeded runs.
 
-use rtgcn_bench::{evaluate, strongest_baseline, HarnessArgs, ModelRow, Spec};
+use rtgcn_bench::{evaluate_roster, strongest_baseline, HarnessArgs, ModelRow, RunnerConfig, Spec};
 use rtgcn_baselines::CommonConfig;
 use rtgcn_eval::{fmt_opt, fmt_p, paired, write_json, Alternative, Table};
 use rtgcn_market::{RelationKind, StockDataset, UniverseSpec};
@@ -27,11 +27,21 @@ fn main() {
             seeds.len(),
             roster.len()
         );
-        let mut rows: Vec<ModelRow> = Vec::new();
-        for spec_m in &roster {
-            eprintln!("[table4]   running {}", spec_m.name());
-            let row = evaluate(spec_m, &ds, &common, RelationKind::Both, &seeds, &KS);
-            rows.push(row);
+        // One pool job per (model, seed); the journal context pins every
+        // knob that changes results so --resume never mixes configurations.
+        let cfg = RunnerConfig::from_env().with_journal(format!(
+            "table4-{}-{:?}-e{}-s{}",
+            market.name(),
+            args.scale,
+            args.epochs,
+            args.base_seed
+        ));
+        let rows: Vec<ModelRow> =
+            evaluate_roster(&roster, &ds, &common, RelationKind::Both, &seeds, &KS, &cfg);
+        for r in &rows {
+            if !r.failed_seeds.is_empty() {
+                eprintln!("[table4]   {}: {} failed seed(s)", r.name, r.failed_seeds.len());
+            }
         }
 
         let mut table = Table::new(["Cat", "Model", "MRR", "IRR-1", "IRR-5", "IRR-10"]);

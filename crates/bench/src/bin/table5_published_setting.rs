@@ -5,7 +5,7 @@
 //! (the paper takes baseline rows from the original publications; we
 //! regenerate them from our reimplementations — DESIGN.md §4.4).
 
-use rtgcn_bench::{evaluate, HarnessArgs, Spec};
+use rtgcn_bench::{evaluate_roster, HarnessArgs, RunnerConfig, Spec};
 use rtgcn_baselines::{CommonConfig, ModelKind};
 use rtgcn_core::Strategy;
 use rtgcn_eval::{fmt_opt, fmt_p, one_sample, write_json, Alternative, Table};
@@ -30,13 +30,15 @@ fn main() {
         let spec = UniverseSpec::of(market, args.scale);
         let ds = StockDataset::generate(spec, args.base_seed);
         eprintln!("[table5] {}-II: industry relations only", market.name());
-        let rows: Vec<_> = roster
-            .iter()
-            .map(|s| {
-                eprintln!("[table5]   running {}", s.name());
-                evaluate(s, &ds, &common, RelationKind::Industry, &seeds, &KS)
-            })
-            .collect();
+        let cfg = RunnerConfig::from_env().with_journal(format!(
+            "table5-{}-{:?}-e{}-s{}",
+            market.name(),
+            args.scale,
+            args.epochs,
+            args.base_seed
+        ));
+        let rows =
+            evaluate_roster(&roster, &ds, &common, RelationKind::Industry, &seeds, &KS, &cfg);
 
         let mut table = Table::new(["Model", "MRR", "IRR-5", "IRR-10", "p (MRR)", "p (IRR-5)"]);
         let ours = rows.last().unwrap();

@@ -2,7 +2,7 @@
 //! (plus the relation-blind Rank_LSTM reference) trained with wiki-only vs
 //! industry-only relations on NASDAQ and NYSE.
 
-use rtgcn_bench::{evaluate, HarnessArgs, Spec};
+use rtgcn_bench::{evaluate_roster, HarnessArgs, RunnerConfig, Spec};
 use rtgcn_baselines::{CommonConfig, ModelKind};
 use rtgcn_core::Strategy;
 use rtgcn_eval::{fmt_opt, write_json, Table};
@@ -37,9 +37,18 @@ fn main() {
             [(RelationKind::Wiki, "Wiki-relation"), (RelationKind::Industry, "Industry-relation")]
         {
             let mut table = Table::new(["Model", "MRR", "IRR-1", "IRR-5", "IRR-10"]);
-            for s in &roster {
-                eprintln!("[table6] {} / {label}: {}", market.name(), s.name());
-                let row = evaluate(s, &ds, &common, kind, &seeds, &KS);
+            // The relation kind changes every result, so it is part of the
+            // journal context: wiki-only and industry-only runs of the same
+            // model/seed never resume into each other.
+            let cfg = RunnerConfig::from_env().with_journal(format!(
+                "table6-{}-{kind:?}-{:?}-e{}-s{}",
+                market.name(),
+                args.scale,
+                args.epochs,
+                args.base_seed
+            ));
+            eprintln!("[table6] {} / {label}: {} models", market.name(), roster.len());
+            for row in evaluate_roster(&roster, &ds, &common, kind, &seeds, &KS, &cfg) {
                 table.add_row([
                     row.name.clone(),
                     fmt_opt(row.mrr, 3),

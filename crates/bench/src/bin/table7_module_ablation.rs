@@ -2,7 +2,7 @@
 //! T-Conv (temporal convolution only) vs the full RT-GCN (U), across all
 //! three markets.
 
-use rtgcn_bench::{evaluate, HarnessArgs, Spec};
+use rtgcn_bench::{evaluate_roster, HarnessArgs, RunnerConfig, Spec};
 use rtgcn_baselines::CommonConfig;
 use rtgcn_core::Strategy;
 use rtgcn_eval::{fmt_opt, write_json, Table};
@@ -20,10 +20,16 @@ fn main() {
         let spec = UniverseSpec::of(market, args.scale);
         let ds = StockDataset::generate(spec, args.base_seed);
         let mut table = Table::new(["Model", "MRR", "IRR-1", "IRR-5", "IRR-10"]);
-        let mut rows = Vec::new();
-        for s in &roster {
-            eprintln!("[table7] {}: {}", market.name(), s.name());
-            let row = evaluate(s, &ds, &common, RelationKind::Both, &seeds, &KS);
+        let cfg = RunnerConfig::from_env().with_journal(format!(
+            "table7-{}-{:?}-e{}-s{}",
+            market.name(),
+            args.scale,
+            args.epochs,
+            args.base_seed
+        ));
+        eprintln!("[table7] {}: {} models", market.name(), roster.len());
+        let rows = evaluate_roster(&roster, &ds, &common, RelationKind::Both, &seeds, &KS, &cfg);
+        for row in &rows {
             table.add_row([
                 row.name.clone(),
                 fmt_opt(row.mrr, 3),
@@ -31,7 +37,6 @@ fn main() {
                 fmt_opt(row.irr.get(&5).copied(), 2),
                 fmt_opt(row.irr.get(&10).copied(), 2),
             ]);
-            rows.push(row);
         }
         println!(
             "\nTable VII — {} (scale {:?}, {} seeds)\n",

@@ -64,6 +64,13 @@ pub fn begin_model_scope(model: &str) {
     }
 }
 
+/// Read-only view of the harness context set by [`HarnessArgs::init`]:
+/// `(harness name, logs dir)`, or `None` in library tests and benches. The
+/// runner uses it to place per-model JSONL sinks and the job journal.
+pub fn harness_ctx() -> Option<(&'static str, &'static std::path::Path)> {
+    HARNESS_CTX.get().map(|(h, d)| (h.as_str(), d.as_path()))
+}
+
 fn parse_market(s: &str) -> Option<Market> {
     match s.to_ascii_lowercase().as_str() {
         "nasdaq" => Some(Market::Nasdaq),

@@ -12,11 +12,15 @@
 //!   (CLI: the `rtgcn-report` binary).
 
 pub mod cli;
+pub mod journal;
 pub mod models;
 pub mod runner;
 pub mod snapshot;
 
-pub use cli::{begin_model_scope, harness_error, HarnessArgs};
+pub use cli::{begin_model_scope, harness_ctx, harness_error, HarnessArgs};
 pub use models::Spec;
-pub use runner::{aggregate, evaluate, run_seeds, strongest_baseline, ModelRow, SeedRun};
+pub use runner::{
+    aggregate, aggregate_with_failures, evaluate, evaluate_roster, run_seeds,
+    strongest_baseline, FailedSeed, ModelRow, RunnerConfig, SeedRun,
+};
 pub use snapshot::{build_snapshot, diff_snapshots, render_markdown, BenchSnapshot};

@@ -13,6 +13,14 @@ pub enum Spec {
     /// Table VII ablations of RT-GCN (U).
     RConv,
     TConv,
+    /// Fault-injection probe whose `fit` panics — exercises the runner's
+    /// per-job isolation in tests. Never part of a real roster.
+    #[doc(hidden)]
+    PanicProbe,
+    /// Fault-injection probe whose `fit` sleeps past any sane per-job
+    /// timeout — exercises the runner's timeout/abandon path in tests.
+    #[doc(hidden)]
+    SlowProbe,
 }
 
 impl Spec {
@@ -35,13 +43,16 @@ impl Spec {
             Spec::Gcn(s) => s.label().to_string(),
             Spec::RConv => "R-Conv".into(),
             Spec::TConv => "T-Conv".into(),
+            Spec::PanicProbe => "PanicProbe".into(),
+            Spec::SlowProbe => "SlowProbe".into(),
         }
     }
 
-    /// Category (CLF/REG/RL/RAN/Ours).
+    /// Category (CLF/REG/RL/RAN/Ours; TEST for fault probes).
     pub fn category(&self) -> &'static str {
         match self {
             Spec::Baseline(k) => k.category(),
+            Spec::PanicProbe | Spec::SlowProbe => "TEST",
             _ => "Ours",
         }
     }
@@ -72,7 +83,36 @@ impl Spec {
                 let cfg = gcn_config(common, Strategy::Uniform, false, true);
                 Box::new(RtGcn::new(cfg, &ds.relations(relation_kind), seed))
             }
+            Spec::PanicProbe => Box::new(FaultProbe { panic_on_fit: true }),
+            Spec::SlowProbe => Box::new(FaultProbe { panic_on_fit: false }),
         }
+    }
+}
+
+/// How long [`Spec::SlowProbe`] sleeps in `fit` — long enough that any
+/// sub-second test timeout fires first, short enough that the abandoned
+/// attempt threads drain before a test binary exits.
+pub const SLOW_PROBE_FIT_SECS: f64 = 2.0;
+
+struct FaultProbe {
+    panic_on_fit: bool,
+}
+
+impl StockRanker for FaultProbe {
+    fn name(&self) -> String {
+        if self.panic_on_fit { "PanicProbe" } else { "SlowProbe" }.into()
+    }
+
+    fn fit(&mut self, _ds: &StockDataset) -> rtgcn_core::FitReport {
+        if self.panic_on_fit {
+            panic!("injected fault: PanicProbe::fit always panics");
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(SLOW_PROBE_FIT_SECS));
+        rtgcn_core::FitReport::default()
+    }
+
+    fn scores_for_day(&mut self, ds: &StockDataset, _end_day: usize) -> Vec<f32> {
+        vec![0.0; ds.n_stocks()]
     }
 }
 

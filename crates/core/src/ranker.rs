@@ -7,13 +7,13 @@ use crate::model::RtGcn;
 use rtgcn_market::StockDataset;
 use rtgcn_telemetry::health::{EpochHealth, HealthConfig, HealthMonitor, HealthVerdict};
 use rtgcn_tensor::Adam;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Cumulative wall-clock seconds spent in each training phase across all
 /// epochs of a fit. RT-GCN fills every field; models without a comparable
 /// structure leave this at the all-zero default.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseSecs {
     /// Relational graph convolution (forward).
     pub relational: f64,
@@ -34,7 +34,9 @@ impl PhaseSecs {
 }
 
 /// Outcome of fitting a model (Figure 5's speed comparison reads the times).
-#[derive(Clone, Debug, Default)]
+/// Serialisable so the parallel runner's job journal can round-trip
+/// completed seed runs across harness restarts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FitReport {
     /// Wall-clock seconds spent training.
     pub train_secs: f64,

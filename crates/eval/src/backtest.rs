@@ -79,7 +79,20 @@ pub fn backtest(
         }
     }
     let test_secs = t0.elapsed().as_secs_f64();
-    let mrr = if model.can_rank() { Some(rr_sum / days.len().max(1) as f64) } else { None };
+    // An empty test split must not masquerade as a real (zero) score: follow
+    // the NaN + warn-event convention degenerate fits use, so downstream
+    // means/maxes can filter it rather than average in a fake 0.0.
+    if days.is_empty() {
+        rtgcn_telemetry::warn(
+            "backtest.degenerate",
+            &format!("{}: empty test split — MRR/IRR are NaN, not scores", model.name()),
+        );
+    }
+    let mrr = if model.can_rank() {
+        Some(if days.is_empty() { f64::NAN } else { rr_sum / days.len() as f64 })
+    } else {
+        None
+    };
     let daily_cumulative: BTreeMap<usize, Vec<f64>> =
         daily.iter().map(|(&k, r)| (k, cumulative_irr(r))).collect();
     // Stream the cumulative-IRR curves (Figure 6) as gauge series so the
@@ -92,7 +105,7 @@ pub fn backtest(
     }
     let irr: BTreeMap<usize, f64> = daily_cumulative
         .iter()
-        .map(|(&k, c)| (k, c.last().copied().unwrap_or(0.0)))
+        .map(|(&k, c)| (k, c.last().copied().unwrap_or(f64::NAN)))
         .collect();
     BacktestOutcome { name: model.name(), mrr, irr, daily_cumulative, test_secs }
 }
@@ -205,6 +218,26 @@ mod tests {
         // Different seeds give different random selections.
         let out2 = backtest(&mut AlwaysUp, &ds, &[1], 8);
         assert_ne!(out.irr[&1], out2.irr[&1]);
+    }
+
+    #[test]
+    fn empty_test_split_yields_nan_not_zero() {
+        let _g = rtgcn_telemetry::test_scope(rtgcn_telemetry::Level::Off);
+        let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        spec.stocks = 10;
+        spec.train_days = 40;
+        spec.test_days = 0;
+        let ds = StockDataset::generate(spec, 2);
+        let out = backtest(&mut Oracle, &ds, &[1, 5], 1);
+        // A 0.0 MRR here would masquerade as a real score; NaN is filterable.
+        assert!(out.mrr.unwrap().is_nan(), "empty split MRR must be NaN, got {:?}", out.mrr);
+        for (&k, &v) in &out.irr {
+            assert!(v.is_nan(), "empty split IRR-{k} must be NaN, got {v}");
+        }
+        let warned = rtgcn_telemetry::drain_memory_sink()
+            .iter()
+            .any(|l| l.contains("backtest.degenerate"));
+        assert!(warned, "expected a backtest.degenerate warn event");
     }
 
     #[test]

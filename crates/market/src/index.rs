@@ -9,6 +9,13 @@ use crate::dataset::StockDataset;
 /// aligned with the backtester's convention: entry `d` is the sum of daily
 /// index returns from `days[0]` through `days[d]` (what Figure 6 plots).
 pub fn index_cumulative_returns(ds: &StockDataset, days: &[usize]) -> Vec<f32> {
+    if days.is_empty() {
+        rtgcn_telemetry::warn(
+            "index.degenerate",
+            "index_cumulative_returns over an empty day range — series is empty",
+        );
+        return Vec::new();
+    }
     let weights = index_weights(ds);
     let mut out = Vec::with_capacity(days.len());
     let mut acc = 0.0f32;
@@ -34,6 +41,16 @@ fn index_weights(ds: &StockDataset) -> Vec<f32> {
     priced.sort_by(|a, b| b.1.total_cmp(&a.1));
     let members = (n * 3 / 10).max(5).min(n);
     let total: f32 = priced[..members].iter().map(|&(_, p)| p).sum();
+    // An empty universe or an all-zero/non-finite price slice would turn
+    // `p / total` into NaN weights that silently poison every downstream
+    // index return; degrade to all-zero weights with a warn event instead.
+    if members == 0 || total <= 0.0 || !total.is_finite() {
+        rtgcn_telemetry::warn(
+            "index.degenerate",
+            &format!("index has no usable constituents ({n} stocks, member price sum {total})"),
+        );
+        return vec![0.0f32; n];
+    }
     let mut weights = vec![0.0f32; n];
     for &(i, p) in &priced[..members] {
         weights[i] = p / total;
@@ -62,6 +79,28 @@ mod tests {
         let overall_min = series.iter().copied().fold(f32::INFINITY, f32::min);
         let last = *series.last().unwrap();
         assert!(last > overall_min, "index should come off the bottom");
+    }
+
+    #[test]
+    fn empty_day_range_and_empty_universe_do_not_panic() {
+        let _g = rtgcn_telemetry::test_scope(rtgcn_telemetry::Level::Off);
+        let ds = StockDataset::generate(UniverseSpec::of(Market::Csi, Scale::Small), 3);
+        // Empty day range: empty series plus a warn event, not a panic.
+        let series = index_cumulative_returns(&ds, &[]);
+        assert!(series.is_empty());
+        let warned = rtgcn_telemetry::drain_memory_sink()
+            .iter()
+            .any(|l| l.contains("index.degenerate"));
+        assert!(warned, "expected an index.degenerate warn event");
+        // A dataset whose test split is empty flows through the same path
+        // end to end (this is the fig6 crash: index.last() on no test days).
+        let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        spec.stocks = 8;
+        spec.train_days = 40;
+        spec.test_days = 0;
+        let tiny = StockDataset::generate(spec, 5);
+        assert!(index_cumulative_returns(&tiny, &tiny.test_end_days()).is_empty());
+        assert!(index_cumulative_returns(&tiny, &tiny.test_end_days()).last().is_none());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `rtgcn-telemetry`: a zero-dependency tracing + metrics layer for the
 //! RT-GCN workspace (std + the in-repo `parking_lot`/`serde` shims only).
 //!
-//! Five primitives share one global registry:
+//! Five primitives share one registry per *scope*:
 //!
 //! - **Spans** — hierarchical RAII timers. [`span`] pushes onto a
 //!   thread-local stack; dropping the guard records `(count, total, min,
@@ -9,7 +9,7 @@
 //!   [`debug_span`] is identical but only active at [`Level::Debug`], which
 //!   is what the per-call tensor-kernel instrumentation uses so that
 //!   `RTGCN_LOG=off`/`summary` keep hot loops cheap.
-//! - **Counters** — named atomic `u64`s ([`count`], or a cached [`Counter`]
+//! - **Counters** — named `u64`s ([`count`], or a cached [`Counter`]
 //!   handle for hot paths).
 //! - **Histograms** — fixed log-spaced bucket latency histograms
 //!   ([`record_ns`]); percentiles are estimated as the upper bound of the
@@ -27,7 +27,20 @@
 //! dump with [`render_prometheus`] (counters, histograms, span totals and
 //! latest series values in one scrapeable string).
 //!
-//! Two sinks:
+//! # Scopes
+//!
+//! All of the free functions above resolve against the calling thread's
+//! *current scope*: a `(registry, sink)` pair. By default every thread uses
+//! the process-wide **root scope**, which is what serial harnesses and tests
+//! see — the historical global-registry behaviour. A [`ModelScope`] is an
+//! isolated scope a worker thread can [`ModelScope::enter`] for the duration
+//! of one model's job, so concurrent models record into disjoint registries
+//! and disjoint JSONL sinks instead of interleaving. Handles that hot paths
+//! cache in `static`s ([`Counter`], returned by [`counter`]) re-resolve by
+//! name on every operation, so one cached handle counts into whichever scope
+//! the calling thread currently has entered.
+//!
+//! Two sinks per scope:
 //!
 //! - a human-readable **span-tree summary** rendered to stderr by
 //!   [`print_summary`] (and automatically when the [`Telemetry`] guard from
@@ -130,47 +143,177 @@ impl SpanStat {
     }
 }
 
-struct Registry {
-    spans: Mutex<BTreeMap<String, SpanStat>>,
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
-    series: Mutex<BTreeMap<String, Vec<SeriesPoint>>>,
+pub(crate) struct Registry {
+    pub(crate) spans: Mutex<BTreeMap<String, SpanStat>>,
+    pub(crate) counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub(crate) hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    pub(crate) series: Mutex<BTreeMap<String, Vec<SeriesPoint>>>,
 }
 
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| Registry {
-        spans: Mutex::new(BTreeMap::new()),
-        counters: Mutex::new(BTreeMap::new()),
-        hists: Mutex::new(BTreeMap::new()),
-        series: Mutex::new(BTreeMap::new()),
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            spans: Mutex::new(BTreeMap::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- scopes
+
+/// One telemetry scope: a metric registry plus an optional JSONL sink.
+struct ScopeInner {
+    registry: Registry,
+    sink: Mutex<Option<SinkTarget>>,
+}
+
+impl ScopeInner {
+    fn new() -> ScopeInner {
+        ScopeInner { registry: Registry::new(), sink: Mutex::new(None) }
+    }
+}
+
+/// The process-wide default scope (the historical global registry/sink).
+fn root_scope() -> &'static Arc<ScopeInner> {
+    static ROOT: OnceLock<Arc<ScopeInner>> = OnceLock::new();
+    ROOT.get_or_init(|| Arc::new(ScopeInner::new()))
+}
+
+thread_local! {
+    /// Stack of scopes this thread has entered; empty = root scope.
+    static CURRENT_SCOPE: RefCell<Vec<Arc<ScopeInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` against the calling thread's current scope (root by default).
+fn with_scope<R>(f: impl FnOnce(&ScopeInner) -> R) -> R {
+    CURRENT_SCOPE.with(|c| {
+        let stack = c.borrow();
+        match stack.last() {
+            Some(s) => f(s),
+            None => f(root_scope()),
+        }
     })
 }
 
-/// Clear all aggregated state (between per-model runs, and in tests).
-/// Counters are zeroed in place rather than removed so that [`Counter`]
-/// handles cached in hot paths (kernel call sites hold them in statics)
-/// keep feeding the registry after a reset. Histogram handles, by contrast,
-/// are re-looked-up per sample, so those entries are simply dropped.
+pub(crate) fn with_registry<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    with_scope(|s| f(&s.registry))
+}
+
+/// An isolated telemetry scope — its own registry and its own JSONL sink —
+/// for running concurrent per-model jobs without interleaving metrics.
+///
+/// A worker thread makes the scope current with [`ModelScope::enter`]; every
+/// span/counter/histogram/series/warn recorded on that thread until the
+/// returned guard drops lands in this scope instead of the root scope. The
+/// handle is `Clone` (cheap `Arc`) and `Send + Sync`, so the same scope can
+/// be entered from several worker threads (e.g. two seeds of one model
+/// running in parallel share one per-model registry and log file).
+///
+/// Call [`ModelScope::finish`] after the last job completes to flush the
+/// aggregate span/counter/histogram events into the scope's sink and close
+/// it — the per-model analogue of what the [`Telemetry`] guard does for the
+/// root scope on drop.
+#[derive(Clone)]
+pub struct ModelScope {
+    inner: Arc<ScopeInner>,
+}
+
+impl Default for ModelScope {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelScope {
+    /// A fresh scope with an empty registry and no sink.
+    pub fn new() -> ModelScope {
+        ModelScope { inner: Arc::new(ScopeInner::new()) }
+    }
+
+    /// Route this scope's events to a JSONL file (parents are created).
+    pub fn install_file_sink(&self, path: &Path) -> std::io::Result<()> {
+        install_file_sink_for(&self.inner, path)
+    }
+
+    /// Route this scope's events to an in-memory buffer (tests).
+    pub fn install_memory_sink(&self) {
+        *self.inner.sink.lock() = Some(SinkTarget::Memory(Vec::new()));
+    }
+
+    /// Drain this scope's in-memory sink (empty for a file sink / no sink).
+    pub fn drain_memory_sink(&self) -> Vec<String> {
+        match self.inner.sink.lock().as_mut() {
+            Some(SinkTarget::Memory(lines)) => std::mem::take(lines),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Write one event directly to this scope's sink (run metadata headers).
+    pub fn emit(&self, event: &Event) {
+        emit_for(&self.inner, event);
+    }
+
+    /// Make this scope current on the calling thread until the guard drops.
+    pub fn enter(&self) -> ScopeGuard {
+        CURRENT_SCOPE.with(|c| c.borrow_mut().push(Arc::clone(&self.inner)));
+        ScopeGuard { _not_send: std::marker::PhantomData }
+    }
+
+    /// Flush this scope's aggregate events into its sink, then close the
+    /// sink if it is a file (a memory sink stays installed so tests can
+    /// still [`ModelScope::drain_memory_sink`] after finishing).
+    pub fn finish(&self) {
+        flush_aggregates_for(&self.inner);
+        let mut sink = self.inner.sink.lock();
+        if matches!(sink.as_ref(), Some(SinkTarget::File(_))) {
+            if let Some(SinkTarget::File(mut w)) = sink.take() {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+/// Returned by [`ModelScope::enter`]; restores the previous scope on drop.
+/// `!Send` by construction — it must drop on the thread that entered.
+pub struct ScopeGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT_SCOPE.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Clear the current scope's aggregated state (between per-model runs, and
+/// in tests). Counters are zeroed in place rather than removed so that
+/// previously observed names keep reporting 0 via [`counter_value`];
+/// histogram and series entries are dropped. [`Counter`] handles re-resolve
+/// by name per operation, so cached handles keep working across resets.
 ///
 /// # Contract
 ///
-/// `reset()` races with every other registry/sink operation: a test that
-/// calls it while another test is mid-assertion on the memory sink will see
-/// the other test's state vanish. Any code that pairs `reset()` with
-/// [`install_memory_sink`]/[`set_level`] (i.e. every telemetry-asserting
-/// test) must hold the process-wide [`test_lock`] for the whole
-/// setup-act-assert sequence — [`test_scope`] bundles the common case.
-/// Production callers ([`begin_model_run`]) are single-threaded per harness
-/// and exempt.
+/// `reset()` races with every other registry/sink operation on the same
+/// scope: a test that calls it while another test is mid-assertion on the
+/// root memory sink will see the other test's state vanish. Any code that
+/// pairs `reset()` with [`install_memory_sink`]/[`set_level`] (i.e. every
+/// telemetry-asserting test) must hold the process-wide [`test_lock`] for
+/// the whole setup-act-assert sequence — [`test_scope`] bundles the common
+/// case. Production callers ([`begin_model_run`], the parallel runner's
+/// per-model [`ModelScope`]s) operate on disjoint scopes and are exempt.
 pub fn reset() {
-    let r = registry();
-    r.spans.lock().clear();
-    for c in r.counters.lock().values() {
-        c.store(0, Ordering::Relaxed);
-    }
-    r.hists.lock().clear();
-    r.series.lock().clear();
+    with_registry(|r| {
+        r.spans.lock().clear();
+        for c in r.counters.lock().values() {
+            c.store(0, Ordering::Relaxed);
+        }
+        r.hists.lock().clear();
+        r.series.lock().clear();
+    });
 }
 
 // ---------------------------------------------------------------- test lock
@@ -182,17 +325,17 @@ static TEST_GATE: Mutex<()> = Mutex::new(());
 pub struct TestGuard(#[allow(dead_code)] parking_lot::MutexGuard<'static, ()>);
 
 /// Acquire the process-wide lock that serialises tests mutating global
-/// telemetry state (level, registry, sink). See the contract on [`reset`].
-/// Every integration/unit test that calls [`reset`], [`set_level`] or
-/// [`install_memory_sink`] must hold this guard for its full duration;
-/// otherwise parallel test threads interleave installs and drains and
-/// assertions read each other's events.
+/// telemetry state (level, root registry, root sink). See the contract on
+/// [`reset`]. Every integration/unit test that calls [`reset`],
+/// [`set_level`] or [`install_memory_sink`] must hold this guard for its
+/// full duration; otherwise parallel test threads interleave installs and
+/// drains and assertions read each other's events.
 pub fn test_lock() -> TestGuard {
     TestGuard(TEST_GATE.lock())
 }
 
 /// [`test_lock`] plus the standard test preamble: set `level`, clear the
-/// registry, route events to a fresh (drained) memory sink.
+/// root registry, route root events to a fresh (drained) memory sink.
 pub fn test_scope(level: Level) -> TestGuard {
     let guard = test_lock();
     set_level(level);
@@ -215,8 +358,8 @@ struct ActiveSpan {
 }
 
 /// RAII span timer. Created by [`span`]/[`debug_span`]; records into the
-/// global registry on drop. Inactive guards (level too low) cost one atomic
-/// load and carry no clock read.
+/// current scope's registry on drop. Inactive guards (level too low) cost
+/// one atomic load and carry no clock read.
 pub struct SpanGuard(Option<ActiveSpan>);
 
 impl SpanGuard {
@@ -258,7 +401,7 @@ impl Drop for SpanGuard {
                 s.remove(pos);
             }
         });
-        registry().spans.lock().entry(path.clone()).or_default().record(ns);
+        with_registry(|r| r.spans.lock().entry(path.clone()).or_default().record(ns));
         if enabled(Level::Debug) {
             emit(&Event::span(&path, 1, ns));
         }
@@ -287,61 +430,87 @@ pub fn debug_span(name: &str) -> SpanGuard {
 
 // ---------------------------------------------------------------- counters
 
-/// Cached handle to a named counter; cheap to clone and `inc` from hot loops.
+/// Cached handle to a named counter; cheap to clone and `inc` from hot
+/// loops. The handle stores the *name* and resolves it against the calling
+/// thread's current scope on every operation, so a handle cached in a
+/// `static` at a kernel call site counts into whichever [`ModelScope`] the
+/// thread has entered (and into the root scope otherwise).
 #[derive(Clone)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter {
+    name: Arc<str>,
+}
 
 impl Counter {
     #[inline]
     pub fn inc(&self, n: u64) {
         if enabled(Level::Summary) {
-            self.0.fetch_add(n, Ordering::Relaxed);
+            with_registry(|r| {
+                let mut map = r.counters.lock();
+                match map.get(&*self.name) {
+                    Some(c) => {
+                        c.fetch_add(n, Ordering::Relaxed);
+                    }
+                    None => {
+                        map.insert(self.name.to_string(), Arc::new(AtomicU64::new(n)));
+                    }
+                }
+            });
         }
     }
 
+    /// Current value in the calling thread's scope (0 if never touched).
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        counter_value(&self.name)
     }
 }
 
-/// Look up (or create) the named counter.
+/// Look up (or create) the named counter in the current scope.
 pub fn counter(name: &str) -> Counter {
-    let mut map = registry().counters.lock();
-    Counter(Arc::clone(map.entry(name.to_string()).or_default()))
+    with_registry(|r| {
+        r.counters.lock().entry(name.to_string()).or_default();
+    });
+    Counter { name: Arc::from(name) }
 }
 
 /// One-shot increment; prefer a cached [`Counter`] in hot paths.
 #[inline]
 pub fn count(name: &str, n: u64) {
     if enabled(Level::Summary) {
-        counter(name).0.fetch_add(n, Ordering::Relaxed);
+        with_registry(|r| {
+            let mut map = r.counters.lock();
+            match map.get(name) {
+                Some(c) => {
+                    c.fetch_add(n, Ordering::Relaxed);
+                }
+                None => {
+                    map.insert(name.to_string(), Arc::new(AtomicU64::new(n)));
+                }
+            }
+        });
     }
 }
 
 /// Read a counter's current value (0 if it was never touched).
 pub fn counter_value(name: &str) -> u64 {
-    registry()
-        .counters
-        .lock()
-        .get(name)
-        .map(|c| c.load(Ordering::Relaxed))
-        .unwrap_or(0)
+    with_registry(|r| {
+        r.counters.lock().get(name).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    })
 }
 
 // ---------------------------------------------------------------- histograms
 
 /// Number of log-spaced buckets: bounds are `FIRST_BOUND_NS << i`, plus a
 /// final catch-all at `u64::MAX`.
-const HIST_BUCKETS: usize = 40;
+pub(crate) const HIST_BUCKETS: usize = 40;
 const FIRST_BOUND_NS: u64 = 64;
 
 /// Fixed-bucket latency histogram. Bucket `i` counts samples with
 /// `ns <= FIRST_BOUND_NS << i`; percentile estimates return the upper bound
 /// of the bucket holding the target rank (≤ 2× overestimate by design).
 pub struct Histogram {
-    buckets: [AtomicU64; HIST_BUCKETS + 1],
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS + 1],
     count: AtomicU64,
-    sum_ns: AtomicU64,
+    pub(crate) sum_ns: AtomicU64,
 }
 
 impl Histogram {
@@ -354,7 +523,7 @@ impl Histogram {
     }
 
     /// Upper bound (ns) of bucket `i`.
-    fn bound(i: usize) -> u64 {
+    pub(crate) fn bound(i: usize) -> u64 {
         if i >= HIST_BUCKETS {
             u64::MAX
         } else {
@@ -402,10 +571,12 @@ impl Histogram {
     }
 }
 
-/// Look up (or create) the named histogram.
+/// Look up (or create) the named histogram in the current scope.
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    let mut map = registry().hists.lock();
-    Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())))
+    with_registry(|r| {
+        let mut map = r.hists.lock();
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())))
+    })
 }
 
 /// Record one latency sample into the named histogram (`Summary` and above).
@@ -428,19 +599,20 @@ pub struct SeriesPoint {
 }
 
 /// Record one point of the named scalar series (`Summary` and above): the
-/// point is appended to the in-memory registry (readable with
-/// [`series_points`]) and streamed to the JSONL sink as a `series` event
-/// with `count = index` and `value = value`.
+/// point is appended to the current scope's registry (readable with
+/// [`series_points`]) and streamed to the scope's JSONL sink as a `series`
+/// event with `count = index` and `value = value`.
 pub fn gauge(name: &str, index: u64, value: f64) {
     if !enabled(Level::Summary) {
         return;
     }
-    registry()
-        .series
-        .lock()
-        .entry(name.to_string())
-        .or_default()
-        .push(SeriesPoint { index, value });
+    with_registry(|r| {
+        r.series
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .push(SeriesPoint { index, value });
+    });
     emit(&Event::series(name, index, value));
 }
 
@@ -449,12 +621,12 @@ pub fn gauge(name: &str, index: u64, value: f64) {
 /// monotonically increasing `index` (the health monitor's epoch counter)
 /// therefore read back monotone indices.
 pub fn series_points(name: &str) -> Vec<SeriesPoint> {
-    registry().series.lock().get(name).cloned().unwrap_or_default()
+    with_registry(|r| r.series.lock().get(name).cloned().unwrap_or_default())
 }
 
 /// Names of all series recorded since the last [`reset`], sorted.
 pub fn series_names() -> Vec<String> {
-    registry().series.lock().keys().cloned().collect()
+    with_registry(|r| r.series.lock().keys().cloned().collect())
 }
 
 // ---------------------------------------------------------------- events
@@ -537,49 +709,90 @@ enum SinkTarget {
     Memory(Vec<String>),
 }
 
-static SINK: Mutex<Option<SinkTarget>> = Mutex::new(None);
-
-/// Route events to a JSONL file (parent directories are created). Replaces
-/// any previously installed sink.
-pub fn install_file_sink(path: &Path) -> std::io::Result<()> {
+fn install_file_sink_for(scope: &ScopeInner, path: &Path) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
     let file = std::fs::File::create(path)?;
-    *SINK.lock() = Some(SinkTarget::File(BufWriter::new(file)));
+    *scope.sink.lock() = Some(SinkTarget::File(BufWriter::new(file)));
     Ok(())
 }
 
-/// Route events to an in-memory buffer (tests).
-pub fn install_memory_sink() {
-    *SINK.lock() = Some(SinkTarget::Memory(Vec::new()));
-}
-
-/// Drain the in-memory sink (empty for a file sink or no sink).
-pub fn drain_memory_sink() -> Vec<String> {
-    match SINK.lock().as_mut() {
-        Some(SinkTarget::Memory(lines)) => std::mem::take(lines),
-        _ => Vec::new(),
-    }
-}
-
-/// Flush and remove the current sink.
-pub fn close_sink() {
-    if let Some(SinkTarget::File(mut w)) = SINK.lock().take() {
+fn close_sink_for(scope: &ScopeInner) {
+    if let Some(SinkTarget::File(mut w)) = scope.sink.lock().take() {
         let _ = w.flush();
     }
 }
 
-/// Write one event to the installed sink (no-op without a sink).
-pub fn emit(event: &Event) {
+fn emit_for(scope: &ScopeInner, event: &Event) {
     let Ok(line) = serde_json::to_string(event) else { return };
-    match SINK.lock().as_mut() {
+    match scope.sink.lock().as_mut() {
         Some(SinkTarget::File(w)) => {
             let _ = writeln!(w, "{line}");
         }
         Some(SinkTarget::Memory(lines)) => lines.push(line),
         None => {}
     }
+}
+
+fn flush_aggregates_for(scope: &ScopeInner) {
+    let r = &scope.registry;
+    for (path, st) in r.spans.lock().iter() {
+        emit_for(scope, &Event::span(path, st.count, st.total_ns));
+    }
+    for (name, c) in r.counters.lock().iter() {
+        let v = c.load(Ordering::Relaxed);
+        if v > 0 {
+            emit_for(scope, &Event::counter(name, v));
+        }
+    }
+    for (name, h) in r.hists.lock().iter() {
+        emit_for(
+            scope,
+            &Event {
+                count: h.count(),
+                total_ns: h.sum_ns.load(Ordering::Relaxed),
+                p50_ns: h.percentile(0.50),
+                p95_ns: h.percentile(0.95),
+                p99_ns: h.percentile(0.99),
+                ..Event::blank("hist", name)
+            },
+        );
+    }
+    if let Some(SinkTarget::File(w)) = scope.sink.lock().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Route the current scope's events to a JSONL file (parent directories are
+/// created). Replaces any previously installed sink on that scope.
+pub fn install_file_sink(path: &Path) -> std::io::Result<()> {
+    with_scope(|s| install_file_sink_for(s, path))
+}
+
+/// Route the current scope's events to an in-memory buffer (tests).
+pub fn install_memory_sink() {
+    with_scope(|s| {
+        *s.sink.lock() = Some(SinkTarget::Memory(Vec::new()));
+    });
+}
+
+/// Drain the current scope's in-memory sink (empty for a file sink/no sink).
+pub fn drain_memory_sink() -> Vec<String> {
+    with_scope(|s| match s.sink.lock().as_mut() {
+        Some(SinkTarget::Memory(lines)) => std::mem::take(lines),
+        _ => Vec::new(),
+    })
+}
+
+/// Flush and remove the current scope's sink.
+pub fn close_sink() {
+    with_scope(close_sink_for);
+}
+
+/// Write one event to the current scope's sink (no-op without a sink).
+pub fn emit(event: &Event) {
+    with_scope(|s| emit_for(s, event));
 }
 
 /// Emit a warning: stderr at `Summary`+, and always a JSONL event so
@@ -591,32 +804,11 @@ pub fn warn(code: &str, msg: &str) {
     emit(&Event::warn(code, msg));
 }
 
-/// Write aggregate span/counter/histogram events to the sink and flush it.
-/// Called between per-model runs and by the [`Telemetry`] guard on drop.
+/// Write aggregate span/counter/histogram events to the current scope's
+/// sink and flush it. Called between per-model runs and by the [`Telemetry`]
+/// guard on drop.
 pub fn flush_aggregates() {
-    let r = registry();
-    for (path, st) in r.spans.lock().iter() {
-        emit(&Event::span(path, st.count, st.total_ns));
-    }
-    for (name, c) in r.counters.lock().iter() {
-        let v = c.load(Ordering::Relaxed);
-        if v > 0 {
-            emit(&Event::counter(name, v));
-        }
-    }
-    for (name, h) in r.hists.lock().iter() {
-        emit(&Event {
-            count: h.count(),
-            total_ns: h.sum_ns.load(Ordering::Relaxed),
-            p50_ns: h.percentile(0.50),
-            p95_ns: h.percentile(0.95),
-            p99_ns: h.percentile(0.99),
-            ..Event::blank("hist", name)
-        });
-    }
-    if let Some(SinkTarget::File(w)) = SINK.lock().as_mut() {
-        let _ = w.flush();
-    }
+    with_scope(flush_aggregates_for);
 }
 
 // ---------------------------------------------------------------- summary
@@ -633,65 +825,67 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
-/// Render the aggregated span tree, counters and histogram percentiles as
-/// human-readable text (what [`print_summary`] writes to stderr).
+/// Render the current scope's aggregated span tree, counters and histogram
+/// percentiles as human-readable text (what [`print_summary`] writes to
+/// stderr).
 pub fn render_summary() -> String {
-    let r = registry();
-    let mut out = String::new();
-    let spans = r.spans.lock();
-    if !spans.is_empty() {
-        out.push_str("span tree (total | mean | count):\n");
-        for (path, st) in spans.iter() {
-            let depth = path.matches('/').count();
-            let name = path.rsplit('/').next().unwrap_or(path);
-            let mean = st.total_ns.checked_div(st.count).unwrap_or(0);
-            out.push_str(&format!(
-                "{:indent$}{name:<28} {:>9} | {:>9} | {}\n",
-                "",
-                format_ns(st.total_ns),
-                format_ns(mean),
-                st.count,
-                indent = 2 * depth,
-            ));
+    with_registry(|r| {
+        let mut out = String::new();
+        let spans = r.spans.lock();
+        if !spans.is_empty() {
+            out.push_str("span tree (total | mean | count):\n");
+            for (path, st) in spans.iter() {
+                let depth = path.matches('/').count();
+                let name = path.rsplit('/').next().unwrap_or(path);
+                let mean = st.total_ns.checked_div(st.count).unwrap_or(0);
+                out.push_str(&format!(
+                    "{:indent$}{name:<28} {:>9} | {:>9} | {}\n",
+                    "",
+                    format_ns(st.total_ns),
+                    format_ns(mean),
+                    st.count,
+                    indent = 2 * depth,
+                ));
+            }
         }
-    }
-    drop(spans);
-    let counters = r.counters.lock();
-    let live: Vec<_> = counters
-        .iter()
-        .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
-        .filter(|&(_, v)| v > 0)
-        .collect();
-    drop(counters);
-    if !live.is_empty() {
-        out.push_str("counters:\n");
-        for (name, v) in live {
-            out.push_str(&format!("  {name:<34} {v}\n"));
+        drop(spans);
+        let counters = r.counters.lock();
+        let live: Vec<_> = counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        drop(counters);
+        if !live.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in live {
+                out.push_str(&format!("  {name:<34} {v}\n"));
+            }
         }
-    }
-    let hists = r.hists.lock();
-    if !hists.is_empty() {
-        out.push_str("latency histograms (p50 / p95 / p99 | n):\n");
-        for (name, h) in hists.iter() {
-            out.push_str(&format!(
-                "  {name:<34} {} / {} / {} | {}\n",
-                format_ns(h.percentile(0.50)),
-                format_ns(h.percentile(0.95)),
-                format_ns(h.percentile(0.99)),
-                h.count(),
-            ));
+        let hists = r.hists.lock();
+        if !hists.is_empty() {
+            out.push_str("latency histograms (p50 / p95 / p99 | n):\n");
+            for (name, h) in hists.iter() {
+                out.push_str(&format!(
+                    "  {name:<34} {} / {} / {} | {}\n",
+                    format_ns(h.percentile(0.50)),
+                    format_ns(h.percentile(0.95)),
+                    format_ns(h.percentile(0.99)),
+                    h.count(),
+                ));
+            }
         }
-    }
-    drop(hists);
-    let series = r.series.lock();
-    if !series.is_empty() {
-        out.push_str("series (last | n):\n");
-        for (name, points) in series.iter() {
-            let last = points.last().map(|p| p.value).unwrap_or(f64::NAN);
-            out.push_str(&format!("  {name:<34} {last:.6} | {}\n", points.len()));
+        drop(hists);
+        let series = r.series.lock();
+        if !series.is_empty() {
+            out.push_str("series (last | n):\n");
+            for (name, points) in series.iter() {
+                let last = points.last().map(|p| p.value).unwrap_or(f64::NAN);
+                out.push_str(&format!("  {name:<34} {last:.6} | {}\n", points.len()));
+            }
         }
-    }
-    out
+        out
+    })
 }
 
 /// Write [`render_summary`] to stderr (no-op when there is nothing to show).
@@ -757,9 +951,12 @@ pub fn init_harness(harness: &str, log_dir: &Path) -> Telemetry {
     Telemetry { _private: () }
 }
 
-/// Swap the JSONL sink to a per-model file (`run-<harness>-<model>.jsonl`),
-/// flushing the aggregates gathered so far into the previous sink and
-/// resetting the registry so each model's stats stand alone.
+/// Swap the current scope's JSONL sink to a per-model file
+/// (`run-<harness>-<model>.jsonl`), flushing the aggregates gathered so far
+/// into the previous sink and resetting the registry so each model's stats
+/// stand alone. This is the *serial* per-model scope used by harnesses that
+/// run one model at a time on the main thread; concurrent runners use one
+/// [`ModelScope`] per model instead.
 pub fn begin_model_run(log_dir: &Path, harness: &str, model: &str) {
     flush_aggregates();
     reset();
@@ -810,5 +1007,64 @@ mod unit {
         assert_eq!(format_ns(1_500), "1.5µs");
         assert_eq!(format_ns(2_500_000), "2.5ms");
         assert_eq!(format_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn entered_scope_isolates_metrics_from_root() {
+        let _g = test_scope(Level::Summary);
+        count("scope.unit.root", 1);
+        let scope = ModelScope::new();
+        scope.install_memory_sink();
+        {
+            let _e = scope.enter();
+            count("scope.unit.inner", 5);
+            gauge("scope.unit.series", 0, 1.5);
+            assert_eq!(counter_value("scope.unit.inner"), 5);
+            // The root counter is invisible from inside the scope.
+            assert_eq!(counter_value("scope.unit.root"), 0);
+        }
+        // Back on the root scope: inner metrics stayed in the model scope.
+        assert_eq!(counter_value("scope.unit.inner"), 0);
+        assert_eq!(counter_value("scope.unit.root"), 1);
+        scope.finish();
+        let lines = scope.drain_memory_sink();
+        assert!(lines.iter().any(|l| l.contains("scope.unit.inner")), "{lines:?}");
+        assert!(!lines.iter().any(|l| l.contains("scope.unit.root")), "{lines:?}");
+    }
+
+    #[test]
+    fn cached_counter_handle_follows_the_current_scope() {
+        let _g = test_scope(Level::Summary);
+        let handle = counter("scope.unit.cached");
+        handle.inc(2);
+        let scope = ModelScope::new();
+        {
+            let _e = scope.enter();
+            handle.inc(40);
+            assert_eq!(handle.get(), 40);
+        }
+        assert_eq!(handle.get(), 2);
+    }
+
+    #[test]
+    fn scope_enter_is_reentrant_across_threads() {
+        let _g = test_scope(Level::Summary);
+        let scope = ModelScope::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = scope.clone();
+                std::thread::spawn(move || {
+                    let _e = s.enter();
+                    for _ in 0..100 {
+                        count("scope.unit.shared", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let _e = scope.enter();
+        assert_eq!(counter_value("scope.unit.shared"), 400);
     }
 }

@@ -2,7 +2,7 @@
 //! turns counters, histograms, span totals and series into a scrapeable
 //! string — useful for snapshotting perf state without a JSONL consumer.
 
-use crate::{registry, Histogram, HIST_BUCKETS};
+use crate::{with_registry, Histogram, HIST_BUCKETS};
 use std::fmt::Write;
 use std::sync::atomic::Ordering;
 
@@ -38,7 +38,10 @@ fn label_value(v: &str) -> String {
 /// Zero-valued counters and empty sections are omitted, so the dump is empty
 /// when nothing has been recorded.
 pub fn render_prometheus() -> String {
-    let r = registry();
+    with_registry(render_registry)
+}
+
+fn render_registry(r: &crate::Registry) -> String {
     let mut out = String::new();
     for (name, c) in r.counters.lock().iter() {
         let v = c.load(Ordering::Relaxed);

@@ -3,7 +3,7 @@
 # paper-style table to its log and writes a JSON artifact into results/;
 # telemetry JSONL streams land next to the .txt captures (see --logs).
 #
-# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf]
+# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume]
 #   --logs DIR        directory for harness stdout captures and telemetry
 #                     JSONL (default results/logs; forwarded to every
 #                     harness binary)
@@ -19,6 +19,16 @@
 #                     diff against the committed results/BENCH_table4.json
 #                     with a 1.25x ratio threshold; exits non-zero on any
 #                     >25% regression
+#   --resume          resume smoke check (skips the full queue): start a
+#                     parallel table4 run, kill it after the first job lands
+#                     in the jobs-*.jsonl journal, rerun to completion, and
+#                     assert the rerun resumed the completed job instead of
+#                     recomputing it; exits 4 on failure
+#
+# Parallelism: the harness binaries fan (model, seed) jobs over RTGCN_JOBS
+# workers (default: all cores). The perf-sensitive table4 passes below pin
+# RTGCN_JOBS=1 — the committed BENCH baselines are serial timings, and
+# concurrent jobs sharing cores would inflate per-seed wall-clock.
 set -e
 set -x
 cd /root/repo
@@ -26,6 +36,7 @@ cd /root/repo
 R=results/logs
 SNAPSHOT=0
 VERIFY=0
+RESUME=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --logs)
@@ -35,13 +46,44 @@ while [ $# -gt 0 ]; do
       SNAPSHOT=1; shift ;;
     --verify-perf)
       VERIFY=1; shift ;;
+    --resume)
+      RESUME=1; shift ;;
     *)
-      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf])" >&2; exit 2 ;;
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume])" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$R"
 
 B=./target/release
+
+if [ "$RESUME" = 1 ]; then
+  # Fault-tolerance smoke: a killed harness must resume from its job journal.
+  cargo build --release --workspace
+  S="$R/resume-smoke"
+  rm -rf "$S"
+  mkdir -p "$S"
+  J="$S/jobs-table4_baselines.jsonl"
+  RTGCN_JOBS=2 $B/table4_baselines --logs "$S" --markets csi --seeds 2 --epochs 1 > "$S/first.txt" 2>&1 &
+  PID=$!
+  # Wait (up to ~5 min) for the first completed job to hit the journal, then
+  # kill the harness mid-run.
+  i=0
+  while [ $i -lt 600 ]; do
+    { [ -f "$J" ] && grep -q '"status":"ok"' "$J"; } && break
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.5
+    i=$((i + 1))
+  done
+  kill "$PID" 2>/dev/null || true
+  wait "$PID" 2>/dev/null || true
+  grep -q '"status":"ok"' "$J" || { echo "RESUME_SMOKE_FAIL: no completed job journalled before the kill" >&2; exit 4; }
+  N_BEFORE=$(grep -c '"status":"ok"' "$J")
+  RTGCN_JOBS=2 $B/table4_baselines --logs "$S" --markets csi --seeds 2 --epochs 1 > "$S/second.txt" 2>&1
+  grep -q 'resumed [1-9][0-9]* completed job' "$S/second.txt" \
+    || { echo "RESUME_SMOKE_FAIL: rerun did not resume from the journal" >&2; exit 4; }
+  echo "RESUME_SMOKE_OK (resumed $N_BEFORE pre-kill job(s))"
+  exit 0
+fi
 
 if [ "$VERIFY" = 1 ]; then
   # Quick perf gate for CI / pre-commit: one cheap harness pass, then diff
@@ -57,7 +99,7 @@ if [ "$VERIFY" = 1 ]; then
   while :; do
     rm -rf "$V"
     mkdir -p "$V"
-    $B/table4_baselines --logs "$V" --markets csi --seeds 1 --epochs 2 > "$V/table4_csi.txt" 2>&1
+    RTGCN_JOBS=1 $B/table4_baselines --logs "$V" --markets csi --seeds 1 --epochs 2 > "$V/table4_csi.txt" 2>&1
     $B/rtgcn-report --logs "$V" --harness table4_baselines \
       --out results/BENCH_table4.verify.json --md "$V/BENCH_table4.verify.md"
     if $B/rtgcn-report --baseline results/BENCH_table4.json \
@@ -78,8 +120,8 @@ fi
 cargo clippy --workspace -- -D warnings
 $B/table2_dataset_stats --logs "$R"                    > $R/table2.txt 2>&1
 $B/table3_relation_stats --logs "$R"                   > $R/table3.txt 2>&1
-$B/table4_baselines --logs "$R" --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1
-$B/table4_baselines --logs "$R" --markets nasdaq --seeds 2 --epochs 3 > $R/table4_nasdaq.txt 2>&1
+RTGCN_JOBS=1 $B/table4_baselines --logs "$R" --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1
+RTGCN_JOBS=1 $B/table4_baselines --logs "$R" --markets nasdaq --seeds 2 --epochs 3 > $R/table4_nasdaq.txt 2>&1
 $B/fig5_speed       --logs "$R" --markets nasdaq       > $R/fig5.txt 2>&1
 $B/fig8_case_study  --logs "$R" --epochs 3             > $R/fig8.txt 2>&1
 $B/table7_module_ablation --logs "$R" --markets csi,nasdaq --seeds 1 --epochs 3 > $R/table7.txt 2>&1
