@@ -60,6 +60,7 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         let diag = a[col][col];
         for row in (col + 1)..n {
             let factor = a[row][col] / diag;
+            // lint:allow(float-literal-equality) exact-zero skip is a pure elimination shortcut
             if factor == 0.0 {
                 continue;
             }

@@ -25,14 +25,17 @@ struct CurveArtifact {
 /// Plot several named series as a compact ASCII chart.
 fn ascii_chart(series: &[(String, Vec<f64>)], width: usize, height: usize) {
     let all: Vec<f64> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
-    let (min, max) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-    let span = (max - min).max(1e-9);
+    // NaN-aware bounds: a diverged (NaN) curve must not blank the whole
+    // chart — finite points still plot, non-finite points are skipped below.
+    let (min, max) = rtgcn_eval::finite_bounds(all.iter().copied()).unwrap_or((0.0, 0.0));
+    let span = rtgcn_eval::floor_span(max - min, 1e-9);
     let marks = ['1', '5', 'X', 'I'];
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, s)) in series.iter().enumerate() {
         for (i, &v) in s.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
             let x = i * (width - 1) / (s.len() - 1).max(1);
             let y = ((v - min) / span * (height - 1) as f64).round() as usize;
             grid[height - 1 - y][x] = marks[si % marks.len()];

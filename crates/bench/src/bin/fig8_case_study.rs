@@ -14,7 +14,7 @@ use serde::Serialize;
 /// Map a value in [lo, hi] to a heat shade.
 fn shade(v: f64, lo: f64, hi: f64) -> char {
     const RAMP: [char; 7] = [' ', '░', '▒', '▓', '█', '█', '█'];
-    let t = ((v - lo) / (hi - lo).max(1e-9)).clamp(0.0, 1.0);
+    let t = ((v - lo) / rtgcn_eval::floor_span(hi - lo, 1e-9)).clamp(0.0, 1.0);
     RAMP[(t * (RAMP.len() - 1) as f64).round() as usize]
 }
 
@@ -91,9 +91,8 @@ fn main() {
         let p0 = ds.sim.price(test_days[0], s);
         let series: Vec<f64> =
             test_days.iter().map(|&d| (ds.sim.price(d, s) / p0) as f64).collect();
-        let (mn, mx) = series
-            .iter()
-            .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+        let (mn, mx) =
+            rtgcn_eval::finite_bounds(series.iter().copied()).unwrap_or((0.0, 0.0));
         let line: String = series.iter().map(|&v| shade(v, mn, mx)).collect();
         println!("    {s:>4} |{line}|  range {mn:.3}..{mx:.3}");
     }
@@ -106,7 +105,9 @@ fn main() {
         for row in 0..stocks.len() {
             let dp = predicted[row][d] - predicted[row][d - 1];
             let da = actual[row][d] - actual[row][d - 1];
-            if dp != 0.0 && da != 0.0 {
+            // `.abs() > 0.0` is false for NaN too, so NaN moves (degenerate
+            // fits) are excluded from the agreement denominator.
+            if dp.abs() > 0.0 && da.abs() > 0.0 {
                 total += 1;
                 if (dp > 0.0) == (da > 0.0) {
                     agree += 1;

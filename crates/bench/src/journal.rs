@@ -114,10 +114,31 @@ impl Journal {
         Ok(Journal { writer: std::io::BufWriter::new(file) })
     }
 
+    /// Append one settled record. A failed write (disk full, revoked fd)
+    /// silently voids the journal's crash-resume guarantee, so it is never
+    /// swallowed: each failure emits a `journal.write_failed` warn event
+    /// naming the record, and the runner keeps going — journalling is an
+    /// optimisation, losing it must not kill a multi-hour sweep.
     pub fn write(&mut self, rec: &JournalRecord) {
-        let Ok(line) = serde_json::to_string(rec) else { return };
-        let _ = writeln!(self.writer, "{line}");
-        let _ = self.writer.flush();
+        let line = match serde_json::to_string(rec) {
+            Ok(line) => line,
+            Err(e) => {
+                rtgcn_telemetry::warn(
+                    "journal.write_failed",
+                    &format!("{}/{} seed {}: serialize: {e}", rec.context, rec.model, rec.seed),
+                );
+                return;
+            }
+        };
+        if let Err(e) = writeln!(self.writer, "{line}").and_then(|()| self.writer.flush()) {
+            rtgcn_telemetry::warn(
+                "journal.write_failed",
+                &format!(
+                    "{}/{} seed {}: {e} — this record will NOT survive a restart",
+                    rec.context, rec.model, rec.seed
+                ),
+            );
+        }
     }
 }
 
@@ -184,6 +205,25 @@ mod tests {
         assert_eq!(recs[1].attempts, 2);
         assert!(recs[1].reason.contains("boom"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A journal whose writes fail (here: ENOSPC via `/dev/full`) must warn
+    /// per dropped record rather than silently voiding the crash-resume
+    /// guarantee — and must not panic or kill the sweep.
+    #[test]
+    fn failed_write_warns_instead_of_silently_dropping() {
+        let full = Path::new("/dev/full");
+        if !full.exists() {
+            return; // non-Linux dev environment; the ENOSPC fixture is unavailable
+        }
+        let _g = rtgcn_telemetry::test_scope(rtgcn_telemetry::Level::Off);
+        let mut j = Journal::append(full).expect("open /dev/full");
+        j.write(&JournalRecord::failed("ctx", "RT-GCN (U)", 7, "probe", 1));
+        let lines = rtgcn_telemetry::drain_memory_sink();
+        assert!(
+            lines.iter().any(|l| l.contains("journal.write_failed") && l.contains("seed 7")),
+            "a dropped record must emit journal.write_failed naming the record, got {lines:?}"
+        );
     }
 
     #[test]

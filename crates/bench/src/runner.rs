@@ -191,6 +191,7 @@ fn settle_attempt<T>(
                         retries + 1
                     );
                 }
+                // lint:allow(telemetry-span-discipline) pool-level retry counter, deliberately root-scoped
                 rtgcn_telemetry::count("runner.jobs.retried", 1);
                 state.queue.push_back(job);
             } else {
@@ -224,6 +225,7 @@ pub(crate) fn run_pool<T: Send + 'static>(
     if total == 0 {
         return Vec::new();
     }
+    // lint:allow(nan-discipline) usize worker-count clamp, not a float metric
     let workers = workers.max(1).min(total);
     let mut state = PoolState::<T> {
         results: (0..total).map(|_| None).collect(),
@@ -283,6 +285,7 @@ pub(crate) fn run_pool<T: Send + 'static>(
                     .map(|(&id, _)| id)
                     .collect();
                 for id in expired {
+                    // lint:allow(panic-free-hot-paths) id was collected from `inflight` three lines up
                     let (job, _) = inflight.remove(&id).expect("expired id is inflight");
                     let label = tasks[job].label.clone();
                     let reason = format!(
@@ -303,6 +306,7 @@ pub(crate) fn run_pool<T: Send + 'static>(
             }
         }
     }
+    // lint:allow(panic-free-hot-paths) the drain loop above exits only once every job settled
     state.results.into_iter().map(|r| r.expect("all jobs settled")).collect()
 }
 
@@ -499,6 +503,7 @@ pub fn evaluate_roster(
                 if smi != mi {
                     continue;
                 }
+                // lint:allow(panic-free-hot-paths) run_pool returns one settled result per slot
                 match results[si].take().expect("every slot settled") {
                     Ok(run) => runs.push(run),
                     Err(reason) => failed.push(FailedSeed { seed, reason }),
@@ -614,6 +619,7 @@ pub fn evaluate(
         &RunnerConfig::from_env(),
     )
     .pop()
+    // lint:allow(panic-free-hot-paths) slice::from_ref passed exactly one spec
     .expect("one spec yields one row")
 }
 

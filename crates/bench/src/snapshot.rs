@@ -226,6 +226,7 @@ pub fn collect_model_logs(logs_dir: &Path, harness: &str) -> std::io::Result<Vec
 fn unix_ms() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
+        // lint:allow(nan-discipline) u128 -> u64 millisecond clamp, not a float metric
         .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
         .unwrap_or(0)
 }

@@ -72,6 +72,7 @@ impl RtGcn {
     /// Build the model. Panics on invalid configuration (use
     /// [`RtGcnConfig::validate`] for a `Result`).
     pub fn new(config: RtGcnConfig, relations: &RelationTensor, seed: u64) -> Self {
+        // lint:allow(panic-free-hot-paths) documented constructor contract: invalid config is a programming error
         config.validate().unwrap_or_else(|e| panic!("invalid RtGcnConfig: {e}"));
         let mut rng = init::rng(seed);
         let mut store = ParamStore::new();
@@ -341,6 +342,7 @@ impl RtGcn {
                 vec![tape.value(a).data().to_vec()]
             }
             Strategy::Weighted => {
+                // lint:allow(panic-free-hot-paths) weighted strategy implies the relational module (validated at construction)
                 let conv = conv.expect("relational module disabled");
                 let w = self.store.bind(&mut tape, conv.w_rel);
                 let b = self.store.bind(&mut tape, conv.b_rel);
@@ -348,6 +350,7 @@ impl RtGcn {
                 vec![tape.value(a).data().to_vec()]
             }
             Strategy::TimeSensitive => {
+                // lint:allow(panic-free-hot-paths) time-sensitive strategy implies the relational module (validated at construction)
                 let conv = conv.expect("relational module disabled");
                 xs.iter()
                     .map(|&x_t| {

@@ -57,7 +57,7 @@ pub fn backtest(
         if model.can_rank() {
             rr_sum += reciprocal_rank(&scores, &truth);
             for &k in ks {
-                daily.get_mut(&k).unwrap().push(daily_topk_return(&scores, &truth, k));
+                daily.entry(k).or_default().push(daily_topk_return(&scores, &truth, k));
             }
         } else {
             // Paper V-C.1: classification methods output up/neutral/down and
@@ -71,10 +71,8 @@ pub fn backtest(
             pool_rest.shuffle(&mut rng);
             pool_up.extend(pool_rest);
             for &k in ks {
-                let kk = k.min(n).max(1);
-                let ret: f64 =
-                    pool_up[..kk].iter().map(|&i| truth[i] as f64).sum::<f64>() / kk as f64;
-                daily.get_mut(&k).unwrap().push(ret);
+                let ret = class_day_return(&pool_up, &truth, k, &model.name());
+                daily.entry(k).or_default().push(ret);
             }
         }
     }
@@ -108,6 +106,28 @@ pub fn backtest(
         .map(|(&k, c)| (k, c.last().copied().unwrap_or(f64::NAN)))
         .collect();
     BacktestOutcome { name: model.name(), mrr, irr, daily_cumulative, test_secs }
+}
+
+/// One classification-mode day return: mean realised return of the first
+/// `k` pool entries (predicted-up stocks first). An undersized pool — only
+/// possible with an empty universe — reports NaN plus a warn event instead
+/// of panicking, per the degenerate-metric convention.
+fn class_day_return(pool: &[usize], truth: &[f32], k: usize, model_name: &str) -> f64 {
+    // lint:allow(nan-discipline) usize top-k clamp on index counts, not a float metric
+    let kk = k.min(pool.len()).max(1);
+    match pool.get(..kk) {
+        Some(picks) => picks.iter().map(|&i| truth[i] as f64).sum::<f64>() / kk as f64,
+        None => {
+            rtgcn_telemetry::warn(
+                "backtest.degenerate",
+                &format!(
+                    "{model_name}: top-{k} requested from a {}-stock pool — day return is NaN",
+                    pool.len()
+                ),
+            );
+            f64::NAN
+        }
+    }
 }
 
 /// A perfect-foresight oracle: scores equal tomorrow's true return ratios.
@@ -171,6 +191,28 @@ mod tests {
         spec.train_days = 40;
         spec.test_days = 30;
         StockDataset::generate(spec, 2)
+    }
+
+    #[test]
+    fn class_day_return_means_first_k() {
+        let truth = [0.1f32, 0.2, 0.4];
+        let r = class_day_return(&[2, 0, 1], &truth, 2, "probe");
+        assert!((r - 0.25).abs() < 1e-6, "mean of picks 2,0 is 0.25, got {r}");
+        // k larger than the pool clamps to the pool size.
+        let all = class_day_return(&[0, 1, 2], &truth, 99, "probe");
+        assert!((all - (0.7 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn class_day_return_empty_pool_is_nan_with_warn_not_panic() {
+        let _g = rtgcn_telemetry::test_scope(rtgcn_telemetry::Level::Summary);
+        let r = class_day_return(&[], &[], 5, "probe");
+        assert!(r.is_nan(), "empty pool must report NaN, not a fabricated 0.0");
+        let lines = rtgcn_telemetry::drain_memory_sink();
+        assert!(
+            lines.iter().any(|l| l.contains("backtest.degenerate")),
+            "degenerate day must emit a warn event, got {lines:?}"
+        );
     }
 
     #[test]

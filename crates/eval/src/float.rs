@@ -1,0 +1,90 @@
+//! Approved NaN-aware float helpers — the one module exempt from the
+//! `nan-discipline` lint rule (see DESIGN.md § "Static analysis &
+//! invariants").
+//!
+//! Everything metric-shaped in `eval`/`bench` can be NaN by convention
+//! (degenerate fits and empty splits report NaN + a warn event, never a
+//! fabricated 0.0). `f64::min`/`f64::max` silently *drop* NaN, which is how
+//! a diverged run once won `strongest_baseline`; these helpers make the NaN
+//! policy explicit at each call site instead: bounds ignore NaN, clamps
+//! propagate it.
+
+/// Smallest and largest *finite* values, or `None` when nothing finite is
+/// left. NaN and ±inf entries are skipped — the caller keeps plotting or
+/// ranking the finite part instead of poisoning the whole range.
+pub fn finite_bounds(vals: impl IntoIterator<Item = f64>) -> Option<(f64, f64)> {
+    let mut out: Option<(f64, f64)> = None;
+    for v in vals {
+        if !v.is_finite() {
+            continue;
+        }
+        out = Some(match out {
+            None => (v, v),
+            Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
+        });
+    }
+    out
+}
+
+/// Clamp a probability into `[0, 1]`. NaN propagates (a NaN p-value must
+/// stay visibly NaN rather than become a confident 0 or 1) — exactly
+/// `f64::clamp`'s contract.
+pub fn clamp_prob(p: f64) -> f64 {
+    p.clamp(0.0, 1.0)
+}
+
+/// Two-sided p-value from the two one-sided tails: `min(1, 2·min(pg, pl))`,
+/// NaN if either tail is NaN.
+pub fn two_sided_p(p_greater: f64, p_less: f64) -> f64 {
+    if p_greater.is_nan() || p_less.is_nan() {
+        return f64::NAN;
+    }
+    clamp_prob(2.0 * if p_greater < p_less { p_greater } else { p_less })
+}
+
+/// Floor a span/denominator at `floor` (> 0). NaN and anything ≤ `floor`
+/// become `floor`, so dividing by the result is always well-defined.
+pub fn floor_span(x: f64, floor: f64) -> f64 {
+    if x > floor {
+        x
+    } else {
+        floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_bounds_skips_nan_and_inf() {
+        let vals = [f64::NAN, 3.0, f64::INFINITY, -1.0, f64::NEG_INFINITY, 2.0];
+        assert_eq!(finite_bounds(vals), Some((-1.0, 3.0)));
+        assert_eq!(finite_bounds([f64::NAN]), None);
+        assert_eq!(finite_bounds([]), None);
+    }
+
+    #[test]
+    fn clamp_prob_propagates_nan() {
+        assert_eq!(clamp_prob(0.5), 0.5);
+        assert_eq!(clamp_prob(-0.1), 0.0);
+        assert_eq!(clamp_prob(1.7), 1.0);
+        assert!(clamp_prob(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn two_sided_from_tails() {
+        assert_eq!(two_sided_p(0.3, 0.8), 0.6);
+        assert_eq!(two_sided_p(0.9, 0.8), 1.0);
+        assert!(two_sided_p(f64::NAN, 0.5).is_nan());
+        assert!(two_sided_p(0.5, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn floor_span_guards_division() {
+        assert_eq!(floor_span(2.0, 1e-9), 2.0);
+        assert_eq!(floor_span(0.0, 1e-9), 1e-9);
+        assert_eq!(floor_span(-3.0, 1e-9), 1e-9);
+        assert_eq!(floor_span(f64::NAN, 1e-9), 1e-9);
+    }
+}

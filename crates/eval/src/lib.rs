@@ -11,11 +11,13 @@
 //! - [`report`] — aligned text tables and JSON result artifacts.
 
 pub mod backtest;
+pub mod float;
 pub mod metrics;
 pub mod report;
 pub mod wilcoxon;
 
 pub use backtest::{backtest, BacktestOutcome, Oracle, RandomRanker, CLASS_UP};
+pub use float::{clamp_prob, finite_bounds, floor_span, two_sided_p};
 pub use metrics::{cumulative_irr, daily_topk_return, rank_of, reciprocal_rank, top_k_indices};
 pub use report::{fmt_opt, fmt_p, write_json, Table};
 pub use wilcoxon::{one_sample, paired, signed_rank_from_diffs, Alternative, WilcoxonResult};

@@ -35,6 +35,7 @@ pub fn reciprocal_rank(pred_scores: &[f32], true_returns: &[f32]) -> f64 {
 /// return is the mean of the selected stocks' return ratios.
 pub fn daily_topk_return(pred_scores: &[f32], true_returns: &[f32], k: usize) -> f64 {
     assert_eq!(pred_scores.len(), true_returns.len(), "length mismatch");
+    // lint:allow(nan-discipline) usize top-k clamp on index counts, not a float metric
     let k = k.min(pred_scores.len()).max(1);
     let picks = top_k_indices(pred_scores, k);
     picks.iter().map(|&i| true_returns[i] as f64).sum::<f64>() / k as f64

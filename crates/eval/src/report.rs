@@ -34,7 +34,9 @@ impl Table {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (c, cell) in row.iter().enumerate() {
-                widths[c] = widths[c].max(cell.len());
+                if cell.len() > widths[c] {
+                    widths[c] = cell.len();
+                }
             }
         }
         let mut out = String::new();
@@ -72,7 +74,7 @@ pub fn fmt_opt(v: Option<f64>, decimals: usize) -> String {
 
 /// Format a p-value in the paper's scientific style (e.g. `3.05e-4`).
 pub fn fmt_p(p: f64) -> String {
-    if p == 0.0 {
+    if p <= 0.0 {
         "0.0".to_string()
     } else if p >= 0.001 {
         format!("{p:.3}")

@@ -40,6 +40,7 @@ fn midranks(abs_d: &[f64]) -> Vec<f64> {
             j += 1;
         }
         let avg = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        // lint:allow(panic-free-hot-paths) tie-group bounds i <= j < n are loop invariants
         for &k in &order[i..=j] {
             ranks[k] = avg;
         }
@@ -62,8 +63,9 @@ fn exact_p_ge(n: usize, w: f64) -> f64 {
     }
     let total: f64 = 2f64.powi(n as i32);
     let w_ceil = w.ceil() as usize;
-    let tail: f64 = counts[w_ceil.min(max_sum)..].iter().sum();
-    (tail / total).min(1.0)
+    let start = if w_ceil > max_sum { max_sum } else { w_ceil };
+    let tail: f64 = counts.get(start..).map(|c| c.iter().sum::<f64>()).unwrap_or(0.0);
+    crate::float::clamp_prob(tail / total)
 }
 
 /// Normal-approximation P(W⁺ ≥ w) with tie and continuity corrections.
@@ -98,6 +100,7 @@ fn erfc(x: f64) -> f64 {
 
 /// Signed-rank test on a vector of differences.
 pub fn signed_rank_from_diffs(diffs: &[f64], alt: Alternative) -> WilcoxonResult {
+    // lint:allow(float-literal-equality) the signed-rank test discards exact-zero diffs by definition
     let d: Vec<f64> = diffs.iter().copied().filter(|&x| x != 0.0).collect();
     let n = d.len();
     if n == 0 {
@@ -125,7 +128,7 @@ pub fn signed_rank_from_diffs(diffs: &[f64], alt: Alternative) -> WilcoxonResult
             } else {
                 normal_p_ge(n, other, &ranks)
             };
-            (2.0 * p_greater.min(p_less)).min(1.0)
+            crate::float::two_sided_p(p_greater, p_less)
         }
     };
     WilcoxonResult { w_plus, n, p_value, exact: use_exact }

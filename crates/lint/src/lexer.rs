@@ -1,0 +1,451 @@
+//! A hand-rolled Rust lexer — just enough fidelity for lint rules.
+//!
+//! The rules in [`crate::rules`] are token-pattern matchers, so the lexer's
+//! one job is to never hand them text that is not code: string literals
+//! (plain, raw, byte), char literals, and comments (line, block — nested —
+//! and doc) must be recognised and set aside. Comments are retained with
+//! their line spans because two lint conventions live inside them:
+//! `// lint:allow(<rule>) <reason>` suppressions and `// SAFETY:`
+//! justifications for `unsafe` blocks.
+//!
+//! This is deliberately not a full Rust lexer (no `syn`, no dependencies):
+//! shebangs, `c"..."` literals and exotic suffixes are handled permissively,
+//! and anything unrecognised becomes a single-char punct token, which at
+//! worst makes a rule miss — never crash.
+
+/// Token classification. Only the distinctions the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`s, stored without `r#`).
+    Ident,
+    /// Punctuation. Multi-char operators the rules care about (`==`, `!=`,
+    /// `..`, `..=`, `::`, `->`, `=>`) are emitted as single tokens; all other
+    /// punctuation is one char per token.
+    Punct,
+    /// String literal of any flavour (contents not retained).
+    Str,
+    /// Char literal.
+    Char,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Float literal (`0.0`, `1e-9`, `2.5f32`, `3f64`, ...).
+    Float,
+    /// Lifetime (`'a`). Emitted so char-literal handling has a home; unused
+    /// by the current rules.
+    Lifetime,
+}
+
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment with its line span (block comments can span many lines).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+#[derive(Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_string(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, end_line: line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, end_line: self.line, text });
+    }
+
+    /// Plain (escaped) string body; opening quote at current pos.
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Raw string: pos is at `r`'s following `#`* or `"`; consumes through
+    /// the matching close quote.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening "
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // '
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let is_lifetime = matches!(first, Some(c) if c == '_' || c.is_alphabetic())
+            && second != Some('\'');
+        if is_lifetime {
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal: consume body (with escapes) through the closing '.
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            match c {
+                '0'..='9' | '_' => {
+                    text.push(c);
+                    self.bump();
+                }
+                '.' => {
+                    // `1.5` is a float; `1..n` is int + range; `1.max(2)` is
+                    // int + method call.
+                    if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                        is_float = true;
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                'e' | 'E' => {
+                    let next = self.peek(1);
+                    let exp_digit = match next {
+                        Some('+' | '-') => {
+                            matches!(self.peek(2), Some(d) if d.is_ascii_digit())
+                        }
+                        Some(d) => d.is_ascii_digit(),
+                        None => false,
+                    };
+                    if exp_digit {
+                        is_float = true;
+                        text.push(c);
+                        self.bump();
+                        if matches!(self.peek(0), Some('+' | '-')) {
+                            text.push(self.bump().unwrap_or('+'));
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Type suffix (f32/f64/u8/usize/...).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with("f3") || suffix.starts_with("f6") {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        self.push(if is_float { TokKind::Float } else { TokKind::Int }, text, line);
+    }
+
+    /// An identifier — unless it is a string prefix (`r"`, `b"`, `br#"`,
+    /// `r#"`, `c"`, `cr#"`) or raw ident (`r#ident`).
+    fn ident_or_prefixed_string(&mut self, line: u32) {
+        let c = self.peek(0).unwrap_or('_');
+        let starts_raw = |this: &Self, at: usize| -> bool {
+            // `#`* followed by `"` starting at offset `at`.
+            let mut k = at;
+            while this.peek(k) == Some('#') {
+                k += 1;
+            }
+            k > at && this.peek(k) == Some('"')
+        };
+        match c {
+            'r' | 'b' | 'c' => {
+                let second = self.peek(1);
+                if second == Some('"') {
+                    self.bump();
+                    if c == 'r' {
+                        self.raw_string(line);
+                    } else {
+                        self.string_literal(line);
+                    }
+                    return;
+                }
+                if c == 'r' && starts_raw(self, 1) {
+                    // Could be r#"..."# (raw string) or r#ident (raw ident).
+                    // starts_raw already verified a quote follows the hashes.
+                    self.bump();
+                    self.raw_string(line);
+                    return;
+                }
+                if (c == 'b' || c == 'c')
+                    && second == Some('r')
+                    && (self.peek(2) == Some('"') || starts_raw(self, 2))
+                {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                    return;
+                }
+                if c == 'r' && second == Some('#') {
+                    // raw ident r#type — skip the r# and lex the ident.
+                    self.bump();
+                    self.bump();
+                }
+            }
+            _ => {}
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            // Defensive: should be unreachable, but never loop forever.
+            self.bump();
+            return;
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = self.bump().unwrap_or(' ');
+        let two = |this: &Self| this.peek(0);
+        let joined = match (c, two(self)) {
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            (':', Some(':')) => Some("::"),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            ('.', Some('.')) => Some(".."),
+            _ => None,
+        };
+        if let Some(op) = joined {
+            self.bump();
+            if op == ".." && self.peek(0) == Some('=') {
+                self.bump();
+                self.push(TokKind::Punct, "..=".into(), line);
+            } else {
+                self.push(TokKind::Punct, op.into(), line);
+            }
+        } else {
+            self.push(TokKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_idents() {
+        let src = r##"
+            let a = "unwrap() partial_cmp"; // unwrap in comment
+            /* partial_cmp in /* nested */ block */
+            let b = r#"raw unwrap"#;
+            let c = b"byte unwrap";
+            call();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"call".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"partial_cmp".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\''; }");
+        let kinds: Vec<TokKind> = lexed.tokens.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokKind::Lifetime));
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_detection() {
+        let toks = lex("a == 0.0; b != 1e-9; c == 2.5f32; d == 3; e[0..n]; 1.max(2)").tokens;
+        let floats: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Float).map(|t| t.text.as_str()).collect();
+        assert_eq!(floats, ["0.0", "1e-9", "2.5f32"]);
+        // `0..n` must not glue into a float.
+        assert!(toks.iter().any(|t| t.kind == TokKind::Punct && t.text == ".."));
+    }
+
+    #[test]
+    fn comment_spans_and_text() {
+        let lexed = lex("// SAFETY: fine\nlet x = 1; /* lint:allow(x) reason\nspans */\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("SAFETY:"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let lexed = lex("let s = \"line\nbreak\";\ncall();");
+        let call = lexed.tokens.iter().find(|t| t.text == "call").map(|t| t.line);
+        assert_eq!(call, Some(3));
+    }
+}

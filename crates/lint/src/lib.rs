@@ -1,0 +1,106 @@
+//! # rtgcn-lint
+//!
+//! Zero-dependency, repo-specific static analysis for the RT-GCN workspace:
+//! rules clippy cannot express because they encode *this* repo's conventions
+//! — NaN discipline in the ranking metrics path, panic-free kernels and
+//! serving paths, telemetry span/counter pairing, `// SAFETY:` audits, and
+//! float-literal equality. See DESIGN.md § "Static analysis & invariants"
+//! for the rule table and [`rules`] for per-rule scoping.
+//!
+//! Suppression syntax (the reason is mandatory — an allow without one is
+//! itself a finding):
+//!
+//! ```text
+//! // lint:allow(nan-discipline) usize clamp, not a float metric
+//! let workers = workers.max(1).min(total);
+//! ```
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use report::Report;
+use std::path::{Path, PathBuf};
+
+/// Walk the workspace roots under `root` and lint every first-party `.rs`
+/// file. Scanned roots: `src/`, `tests/`, `examples/`, `crates/*/src/`,
+/// `crates/*/tests/`, `crates/*/benches/`. `vendor/`, `target/` and any
+/// `fixtures/` directory are never entered (fixtures are deliberate rule
+/// violations used by the lint's own tests).
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut crates: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        crates.sort();
+        for c in crates {
+            for sub in ["src", "tests", "benches"] {
+                collect_rs(&c.join(sub), &mut files);
+            }
+        }
+    }
+    files.sort();
+    lint_files(root, &files)
+}
+
+/// Lint an explicit file list (paths may be absolute or root-relative).
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Report> {
+    let mut findings = Vec::new();
+    let mut allows = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let src = std::fs::read_to_string(f)?;
+        let (fs, als) = rules::lint_source(&rel, &src);
+        findings.extend(fs);
+        allows.extend(als);
+    }
+    let mut report = Report { findings, allows, files_scanned: files.len() };
+    report.sort();
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        if p.is_dir() {
+            if name != "fixtures" && name != "target" && name != "vendor" {
+                collect_rs(&p, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_skips_fixtures_and_vendor() {
+        let tmp = std::env::temp_dir().join(format!("rtgcn-lint-walk-{}", std::process::id()));
+        let src = tmp.join("crates/x/src");
+        let fix = tmp.join("crates/x/tests/fixtures");
+        let ven = tmp.join("crates/x/src/vendor");
+        for d in [&src, &fix, &ven] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        std::fs::write(src.join("lib.rs"), "fn a() {}\n").unwrap();
+        std::fs::write(fix.join("bad.rs"), "fn b() { x.partial_cmp(&y); }\n").unwrap();
+        std::fs::write(ven.join("v.rs"), "fn c() { x.partial_cmp(&y); }\n").unwrap();
+        let report = run(&tmp).unwrap();
+        std::fs::remove_dir_all(&tmp).ok();
+        assert_eq!(report.files_scanned, 1);
+        assert!(report.findings.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! `rtgcn-lint` — run the repo-specific lint pass.
+//!
+//! ```text
+//! rtgcn-lint [--deny] [--json PATH] [--root DIR] [FILE...]
+//!   --deny       exit 3 when any finding survives suppression (CI gate)
+//!   --json PATH  write the machine-readable report (default: skip)
+//!   --root DIR   workspace root to walk (default: .)
+//!   FILE...      lint only these files instead of walking the workspace
+//! ```
+//!
+//! Exit codes: 0 clean, 2 usage/IO error, 3 findings under `--deny`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json requires a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: rtgcn-lint [--deny] [--json PATH] [--root DIR] [FILE...]\n\
+                     rules: {}",
+                    rtgcn_lint::rules::RULE_IDS.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(PathBuf::from(f)),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let result = if files.is_empty() {
+        rtgcn_lint::run(&root)
+    } else {
+        rtgcn_lint::lint_files(&root, &files)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error[rtgcn-lint]: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    println!(
+        "rtgcn-lint: {} file(s), {} finding(s), {} allow(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.allows.len()
+    );
+
+    if let Some(path) = json {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error[rtgcn-lint]: creating {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error[rtgcn-lint]: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if deny && !report.findings.is_empty() {
+        eprintln!("rtgcn-lint: --deny with {} finding(s)", report.findings.len());
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error[rtgcn-lint]: {msg} (usage: rtgcn-lint [--deny] [--json PATH] [--root DIR] [FILE...])");
+    ExitCode::from(2)
+}

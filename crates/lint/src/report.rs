@@ -1,0 +1,107 @@
+//! Machine-readable lint report (`results/LINT.json`).
+//!
+//! Hand-rolled JSON (the linter has zero dependencies, see Cargo.toml). The
+//! output is deterministic — findings and allows sorted by (file, line,
+//! rule), no timestamps — so the committed report diffs like the BENCH
+//! snapshots do.
+
+use crate::rules::{Allow, Finding};
+
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<Allow>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                if i + 1 == self.findings.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}{}\n",
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason),
+                if i + 1 == self.allows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_sorts() {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    rule: "float-literal-equality",
+                    file: "b.rs".into(),
+                    line: 2,
+                    message: "say \"no\"\n".into(),
+                },
+                Finding {
+                    rule: "nan-discipline",
+                    file: "a.rs".into(),
+                    line: 9,
+                    message: "m".into(),
+                },
+            ],
+            allows: vec![],
+            files_scanned: 2,
+        };
+        r.sort();
+        let j = r.to_json();
+        assert!(j.contains("\\\"no\\\"\\n"));
+        let a = j.find("a.rs").unwrap();
+        let b = j.find("b.rs").unwrap();
+        assert!(a < b, "findings must sort by file");
+        assert!(j.contains("\"finding_count\": 2"));
+    }
+}

@@ -1,0 +1,718 @@
+//! The repo-specific rule set.
+//!
+//! Every rule has a stable ID (used in `// lint:allow(<id>) <reason>`
+//! comments and in `results/LINT.json`) and a path scope. Scopes and
+//! carve-outs are documented per-rule below and summarised in DESIGN.md's
+//! "Static analysis & invariants" section — when adjusting a scope, update
+//! both places.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+pub const NAN_DISCIPLINE: &str = "nan-discipline";
+pub const PANIC_FREE: &str = "panic-free-hot-paths";
+pub const TELEMETRY_SPAN: &str = "telemetry-span-discipline";
+pub const UNSAFE_AUDIT: &str = "unsafe-audit";
+pub const FLOAT_EQ: &str = "float-literal-equality";
+pub const UNEXPLAINED_ALLOW: &str = "unexplained-allow";
+
+/// All rule IDs that may appear in an allow comment, in report order.
+pub const RULE_IDS: [&str; 6] =
+    [NAN_DISCIPLINE, PANIC_FREE, TELEMETRY_SPAN, UNSAFE_AUDIT, FLOAT_EQ, UNEXPLAINED_ALLOW];
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// A parsed `lint:allow` suppression (reported in the JSON artifact so the
+/// allow inventory is diffable alongside the findings).
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// Lint a single file's source under its repo-relative path. The path drives
+/// rule scoping, so tests can lint fixture text under any virtual path.
+pub fn lint_source(path: &str, src: &str) -> (Vec<Finding>, Vec<Allow>) {
+    let lexed = lex(src);
+    let ctx = FileCtx::build(path, src, &lexed.tokens, &lexed.comments);
+    let mut findings = Vec::new();
+
+    rule_nan_discipline(&ctx, &mut findings);
+    rule_panic_free(&ctx, &mut findings);
+    rule_telemetry_span(&ctx, &mut findings);
+    rule_unsafe_audit(&ctx, &mut findings);
+    rule_float_eq(&ctx, &mut findings);
+
+    // Apply suppressions, then report unexplained / unknown-rule allows.
+    findings.retain(|f| !ctx.is_allowed(f.rule, f.line));
+    for a in &ctx.allows {
+        if a.reason.is_empty() {
+            findings.push(Finding {
+                rule: UNEXPLAINED_ALLOW,
+                file: ctx.path.clone(),
+                line: a.line,
+                message: format!(
+                    "lint:allow({}) has no reason — every allow must justify itself",
+                    a.rule
+                ),
+            });
+        } else if !RULE_IDS.contains(&a.rule.as_str()) {
+            findings.push(Finding {
+                rule: UNEXPLAINED_ALLOW,
+                file: ctx.path.clone(),
+                line: a.line,
+                message: format!("lint:allow({}) names an unknown rule", a.rule),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // Two hits of one rule on one line (e.g. `.min(a).min(b)`) carry no
+    // extra signal — collapse them.
+    findings.dedup();
+    let allows = ctx
+        .allows
+        .iter()
+        .map(|a| Allow {
+            rule: a.rule.clone(),
+            file: ctx.path.clone(),
+            line: a.line,
+            reason: a.reason.clone(),
+        })
+        .collect();
+    (findings, allows)
+}
+
+struct RawAllow {
+    rule: String,
+    line: u32,
+    /// Lines this allow covers (its own + the next token-bearing line).
+    covers: (u32, u32),
+    reason: String,
+}
+
+struct FnSpan {
+    /// Token index of the `fn` keyword.
+    name: String,
+    line: u32,
+    /// Token index range of the body (inside the braces), empty if bodyless.
+    body: std::ops::Range<usize>,
+    is_pub: bool,
+}
+
+struct FileCtx<'a> {
+    path: String,
+    tokens: &'a [Token],
+    /// Per-token: does it sit inside a `#[test]` fn / `#[cfg(test)]` item?
+    in_test: Vec<bool>,
+    allows: Vec<RawAllow>,
+    /// Line spans of comments containing `SAFETY:`.
+    safety_lines: Vec<(u32, u32)>,
+    fns: Vec<FnSpan>,
+    source_lines: Vec<&'a str>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn build(path: &str, src: &'a str, tokens: &'a [Token], comments: &'a [Comment]) -> Self {
+        let whole_file_test = path.contains("/tests/") || path.starts_with("tests/");
+        let mut in_test = vec![whole_file_test; tokens.len()];
+        if !whole_file_test {
+            mark_test_regions(tokens, &mut in_test);
+        }
+        let allows = parse_allows(tokens, comments);
+        // A multi-line `// SAFETY:` justification lexes as one comment per
+        // `//` line; group contiguous comment runs so the whole block counts
+        // as the SAFETY comment (its proximity to `unsafe` is measured from
+        // the run's last line).
+        let mut safety_lines: Vec<(u32, u32)> = Vec::new();
+        for c in comments {
+            match safety_lines.last_mut() {
+                Some((_, end)) if *end + 1 == c.line => *end = c.end_line,
+                _ if c.text.contains("SAFETY:") => {
+                    safety_lines.push((c.line, c.end_line));
+                }
+                _ => {}
+            }
+        }
+        let fns = collect_fns(tokens);
+        FileCtx {
+            path: path.to_string(),
+            tokens,
+            in_test,
+            allows,
+            safety_lines,
+            fns,
+            source_lines: src.lines().collect(),
+        }
+    }
+
+    fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (line == a.covers.0 || line == a.covers.1))
+    }
+
+    fn snippet(&self, line: u32) -> String {
+        self.source_lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().chars().take(120).collect())
+            .unwrap_or_default()
+    }
+
+    fn in_scope(&self, prefixes: &[&str]) -> bool {
+        prefixes
+            .iter()
+            .any(|p| if p.ends_with(".rs") { self.path == *p } else { self.path.starts_with(p) })
+    }
+}
+
+/// Parse `lint:allow(<rule>) <reason>` comments. The allow covers its own
+/// line and the next line that carries a token (so it works both trailing a
+/// statement and on the line above it).
+fn parse_allows(tokens: &[Token], comments: &[Comment]) -> Vec<RawAllow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("lint:allow(") else { continue };
+        let rest = &c.text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        // Prose mentioning the syntax (`lint:allow(<id>)`) is not an allow:
+        // a real rule ID is strictly kebab-case.
+        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+            continue;
+        }
+        let reason = rest[close + 1..].trim().trim_start_matches(['-', ':']).trim().to_string();
+        let next_token_line = tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > c.end_line)
+            .unwrap_or(c.end_line);
+        out.push(RawAllow { rule, line: c.line, covers: (c.line, next_token_line), reason });
+    }
+    out
+}
+
+/// Mark every token inside a `#[test]`/`#[cfg(test)]`-attributed item (or an
+/// item under a `#![cfg(test)]` file) as test code. Attribute detection is
+/// token-level: an attribute whose tokens include the ident `test` counts,
+/// which covers `#[test]`, `#[cfg(test)]`, and `#[cfg(all(test, ...))]`.
+fn mark_test_regions(tokens: &[Token], in_test: &mut [bool]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Punct && t.text == "#" {
+            let mut j = i + 1;
+            let inner = tokens.get(j).map(|t| t.text == "!").unwrap_or(false);
+            if inner {
+                j += 1;
+            }
+            if tokens.get(j).map(|t| t.text == "[").unwrap_or(false) {
+                // Collect the attribute token range.
+                let mut depth = 0usize;
+                let mut k = j;
+                let mut has_test = false;
+                while k < tokens.len() {
+                    let tk = &tokens[k];
+                    if tk.kind == TokKind::Punct && tk.text == "[" {
+                        depth += 1;
+                    } else if tk.kind == TokKind::Punct && tk.text == "]" {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if tk.kind == TokKind::Ident && tk.text == "test" {
+                        has_test = true;
+                    }
+                    k += 1;
+                }
+                if has_test {
+                    if inner {
+                        // `#![cfg(test)]` — whole file is test code.
+                        in_test.iter_mut().for_each(|b| *b = true);
+                        return;
+                    }
+                    // Mark from the attribute through the item body: the
+                    // first `{` after the attribute through its match, or a
+                    // terminating `;` before any brace.
+                    let mut m = k + 1;
+                    let mut bdepth = 0usize;
+                    let mut entered = false;
+                    while m < tokens.len() {
+                        let tm = &tokens[m];
+                        if tm.kind == TokKind::Punct {
+                            match tm.text.as_str() {
+                                "{" => {
+                                    bdepth += 1;
+                                    entered = true;
+                                }
+                                "}" => {
+                                    bdepth = bdepth.saturating_sub(1);
+                                    if entered && bdepth == 0 {
+                                        break;
+                                    }
+                                }
+                                ";" if !entered => break,
+                                _ => {}
+                            }
+                        }
+                        m += 1;
+                    }
+                    for slot in in_test.iter_mut().take((m + 1).min(tokens.len())).skip(i) {
+                        *slot = true;
+                    }
+                    i = m + 1;
+                    continue;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collect `fn` spans (name, body token range, pub-ness) by brace matching.
+fn collect_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokKind::Ident && tokens[i].text == "fn" {
+            let is_pub = i >= 1 && tokens[..i].iter().rev().take(4).any(|t| t.text == "pub");
+            let Some(name_tok) = tokens.get(i + 1) else { break };
+            let name = name_tok.text.clone();
+            let line = tokens[i].line;
+            // Find the body opening brace, skipping the signature. A `;`
+            // before any `{` means a bodyless decl (trait method).
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut body = 0..0;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => paren += 1,
+                        ")" | "]" => paren -= 1,
+                        ";" if paren == 0 => break,
+                        "{" if paren == 0 => {
+                            let mut depth = 0usize;
+                            let mut k = j;
+                            while k < tokens.len() {
+                                match tokens[k].text.as_str() {
+                                    "{" => depth += 1,
+                                    "}" => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            body = (j + 1)..k.min(tokens.len());
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            out.push(FnSpan { name, line, body, is_pub });
+        }
+        i += 1;
+    }
+    out
+}
+
+fn push(findings: &mut Vec<Finding>, rule: &'static str, ctx: &FileCtx, line: u32, msg: String) {
+    let snippet = ctx.snippet(line);
+    let message = if snippet.is_empty() { msg } else { format!("{msg}: `{snippet}`") };
+    findings.push(Finding { rule, file: ctx.path.clone(), line, message });
+}
+
+/// Is token `i` in expression-index position — i.e. a `[` that directly
+/// follows an identifier, `)`, or `]`? Filters out slice/array *types* like
+/// `&[&str]` and `[f32; 4]`.
+fn is_index_bracket(tokens: &[Token], i: usize) -> bool {
+    if tokens[i].text != "[" {
+        return false;
+    }
+    let Some(prev) = i.checked_sub(1).and_then(|p| tokens.get(p)) else { return false };
+    prev.kind == TokKind::Ident && prev.text != "return" && prev.text != "in"
+        || (prev.kind == TokKind::Punct && (prev.text == ")" || prev.text == "]"))
+}
+
+/// Token range of the balanced group opening at `open` (exclusive of the
+/// delimiters); `open` must point at `(` or `[`.
+fn group_range(tokens: &[Token], open: usize) -> std::ops::Range<usize> {
+    let (o, c) = match tokens[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => return open..open,
+    };
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < tokens.len() {
+        if tokens[k].kind == TokKind::Punct {
+            if tokens[k].text == o {
+                depth += 1;
+            } else if tokens[k].text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return (open + 1)..k;
+                }
+            }
+        }
+        k += 1;
+    }
+    (open + 1)..tokens.len()
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: nan-discipline
+// ---------------------------------------------------------------------------
+
+/// Scores and metrics flow through `eval` and `bench`; a bare
+/// `partial_cmp`/`sort_by(...unwrap...)` (anywhere) or `.max(`/`.min(` (in
+/// eval/bench) silently mis-orders NaN. The approved NaN-aware helpers live
+/// in `crates/eval/src/float.rs`, which is the one exempted file. `.max(n)`
+/// with a literal integer argument is skipped — that is integer clamping,
+/// not float comparison.
+fn rule_nan_discipline(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    const HELPER_FILE: &str = "crates/eval/src/float.rs";
+    let minmax_scoped = ctx.in_scope(&["crates/eval/src/", "crates/bench/src/"])
+        && ctx.path != HELPER_FILE;
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "partial_cmp" => push(
+                findings,
+                NAN_DISCIPLINE,
+                ctx,
+                t.line,
+                "bare `partial_cmp` — NaN compares as None/arbitrary; use `total_cmp` or an \
+                 eval::float helper"
+                    .into(),
+            ),
+            "sort_by" | "sort_unstable_by" | "max_by" | "min_by" => {
+                if toks.get(i + 1).map(|t| t.text != "(").unwrap_or(true) {
+                    continue;
+                }
+                let r = group_range(toks, i + 1);
+                if toks[r].iter().any(|t| t.kind == TokKind::Ident && t.text == "unwrap") {
+                    push(
+                        findings,
+                        NAN_DISCIPLINE,
+                        ctx,
+                        t.line,
+                        format!(
+                            "`{}` with `.unwrap()` comparator — panics or mis-orders on NaN; \
+                             use `total_cmp` or an eval::float helper",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            "max" | "min" if minmax_scoped => {
+                // Method-call position only: `.max(...)` with args.
+                let dotted =
+                    i >= 1 && toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == ".";
+                if !dotted || toks.get(i + 1).map(|t| t.text != "(").unwrap_or(true) {
+                    continue;
+                }
+                let r = group_range(toks, i + 1);
+                if r.is_empty() {
+                    continue; // Iterator::max/min — NaN handling is the caller's problem upstream.
+                }
+                let args = &toks[r];
+                let single_int_literal = args.len() == 1 && args[0].kind == TokKind::Int;
+                if single_int_literal {
+                    continue;
+                }
+                push(
+                    findings,
+                    NAN_DISCIPLINE,
+                    ctx,
+                    t.line,
+                    format!(
+                        "bare `.{}()` on a possibly-NaN value — `f64::{0}` silently drops NaN; \
+                         use an eval::float helper (or lint:allow with a reason for integer \
+                         clamps)",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: panic-free-hot-paths
+// ---------------------------------------------------------------------------
+
+/// Kernel + serving-critical modules must not panic: `unwrap`/`expect`/
+/// `panic!`-family everywhere in the hot list, plus map-index (`m[&k]`) and
+/// range-slice (`v[a..b]`) indexing in eval/bench library code — the exact
+/// two forms behind the PR 5 backtest panics. Plain `v[i]` indexing in
+/// kernels is deliberately NOT flagged (bounds are loop invariants there and
+/// the noise would drown the signal); `crates/bench/src/bin/` report
+/// formatters are also out of scope — they run after results land and their
+/// BTreeMap keys are the K_SET constants.
+fn rule_panic_free(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    const HOT: [&str; 8] = [
+        "crates/tensor/src/ops/",
+        "crates/graph/src/",
+        "crates/core/src/model.rs",
+        "crates/core/src/layers.rs",
+        "crates/core/src/strategy.rs",
+        "crates/eval/src/backtest.rs",
+        "crates/bench/src/runner.rs",
+        "crates/bench/src/journal.rs",
+    ];
+    let panic_scoped = ctx.in_scope(&HOT);
+    let index_scoped = ctx.in_scope(&["crates/eval/src/", "crates/bench/src/"])
+        && !ctx.path.starts_with("crates/bench/src/bin/");
+    if !panic_scoped && !index_scoped {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if panic_scoped && t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "unwrap" | "expect"
+                    if toks.get(i + 1).map(|n| n.text == "(").unwrap_or(false)
+                        // `.unwrap()` method position, not a fn named unwrap.
+                        && i >= 1
+                        && toks[i - 1].text == "." =>
+                {
+                    push(
+                        findings,
+                        PANIC_FREE,
+                        ctx,
+                        t.line,
+                        format!("`.{}()` in a panic-free hot path", t.text),
+                    );
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if toks.get(i + 1).map(|n| n.text == "!").unwrap_or(false) =>
+                {
+                    push(
+                        findings,
+                        PANIC_FREE,
+                        ctx,
+                        t.line,
+                        format!("`{}!` in a panic-free hot path", t.text),
+                    );
+                }
+                _ => {}
+            }
+        }
+        if index_scoped && t.kind == TokKind::Punct && is_index_bracket(toks, i) {
+            let r = group_range(toks, i);
+            if r.is_empty() {
+                continue;
+            }
+            let inner = &toks[r.clone()];
+            if inner[0].kind == TokKind::Punct && inner[0].text == "&" {
+                push(
+                    findings,
+                    PANIC_FREE,
+                    ctx,
+                    t.line,
+                    "map index `[&k]` panics on a missing key — use `.get(&k)` and warn on \
+                     None"
+                        .into(),
+                );
+            } else {
+                // Range slice at top bracket depth.
+                let mut depth = 0i32;
+                for tk in inner {
+                    if tk.kind == TokKind::Punct {
+                        match tk.text.as_str() {
+                            "[" | "(" => depth += 1,
+                            "]" | ")" => depth -= 1,
+                            ".." | "..=" if depth == 0 => {
+                                push(
+                                    findings,
+                                    PANIC_FREE,
+                                    ctx,
+                                    t.line,
+                                    "range-slice indexing panics on out-of-range bounds — use \
+                                     `.get(range)` and warn on None"
+                                        .into(),
+                                );
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: telemetry-span-discipline
+// ---------------------------------------------------------------------------
+
+/// PR 1 conventions: a kernel fn that records a `*_ns` histogram must pair
+/// it with a span/counter/scope so the BENCH pipeline can attribute the
+/// timing; and in the worker-pool modules, per-model telemetry free
+/// functions may only run inside a `ModelScope` (jobs `enter()` the model's
+/// scope) — `warn` stays allowed because warnings deliberately route to the
+/// root scope.
+fn rule_telemetry_span(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    const KERNEL: [&str; 3] =
+        ["crates/tensor/src/ops/", "crates/core/src/model.rs", "crates/core/src/layers.rs"];
+    const POOL: [&str; 2] = ["crates/bench/src/runner.rs", "crates/bench/src/journal.rs"];
+    let kernel_scoped = ctx.in_scope(&KERNEL);
+    let pool_scoped = ctx.in_scope(&POOL);
+    if !kernel_scoped && !pool_scoped {
+        return;
+    }
+    let toks = ctx.tokens;
+    for f in &ctx.fns {
+        if f.body.is_empty() {
+            continue;
+        }
+        let body = &toks[f.body.clone()];
+        let body_test = ctx.in_test.get(f.body.start).copied().unwrap_or(false);
+        if body_test {
+            continue;
+        }
+        let has = |name: &str| body.iter().any(|t| t.kind == TokKind::Ident && t.text == name);
+        if kernel_scoped && f.is_pub && has("record_ns") {
+            let paired = ["span", "debug_span", "kernel_counter", "count", "counter", "enter"]
+                .iter()
+                .any(|n| has(n));
+            if !paired {
+                push(
+                    findings,
+                    TELEMETRY_SPAN,
+                    ctx,
+                    f.line,
+                    format!(
+                        "pub fn `{}` records a histogram without a paired span/counter/scope",
+                        f.name
+                    ),
+                );
+            }
+        }
+        if pool_scoped {
+            let in_scope_fn = has("enter")
+                || has("test_scope")
+                || has("root_scope")
+                || has("begin_model_scope");
+            if in_scope_fn {
+                continue;
+            }
+            for (bi, t) in body.iter().enumerate() {
+                let is_free_call = t.kind == TokKind::Ident
+                    && matches!(
+                        t.text.as_str(),
+                        "record_ns" | "gauge" | "span" | "debug_span" | "count"
+                    )
+                    // Call position only — and not a dotted method like the
+                    // iterator's `.count()`, which is unrelated to telemetry.
+                    && body.get(bi + 1).map(|n| n.text == "(").unwrap_or(false)
+                    && !(bi >= 1 && body[bi - 1].text == ".");
+                if is_free_call {
+                    push(
+                        findings,
+                        TELEMETRY_SPAN,
+                        ctx,
+                        t.line,
+                        format!(
+                            "telemetry free fn `{}` called in `{}` outside any ModelScope \
+                             — per-model metrics must be recorded inside the job's scope",
+                            t.text, f.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: unsafe-audit
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` (tests included — unsound test helpers poison everything)
+/// must carry a `// SAFETY:` comment on the same line or within the three
+/// lines above, per the convention ROADMAP item 3's SIMD work will lean on.
+fn rule_unsafe_audit(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for t in ctx.tokens.iter() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // `unsafe` in a string was never tokenised as an ident, so this is
+        // real code. Accept a SAFETY comment ending on lines [line-3, line].
+        let ok = ctx
+            .safety_lines
+            .iter()
+            .any(|&(_, end)| end <= t.line && end + 3 >= t.line);
+        if !ok {
+            push(
+                findings,
+                UNSAFE_AUDIT,
+                ctx,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment in the 3 lines above".into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: float-literal-equality
+// ---------------------------------------------------------------------------
+
+/// `x == 0.0` on a *computed* float is almost always a latent bug (the value
+/// is an accumulation away from 1e-17). `crates/tensor/src/` is carved out:
+/// its kernels use exact `== 0.0` sparsity skips on *stored* values, which
+/// is well-defined IEEE-754 and intentional (documented in DESIGN.md).
+fn rule_float_eq(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    if ctx.path.starts_with("crates/tensor/src/") {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let float_adjacent = [i.checked_sub(1), Some(i + 1)]
+            .into_iter()
+            .flatten()
+            .filter_map(|j| toks.get(j))
+            .any(|t| t.kind == TokKind::Float);
+        if float_adjacent {
+            push(
+                findings,
+                FLOAT_EQ,
+                ctx,
+                t.line,
+                format!(
+                    "`{}` against a float literal — compare with a tolerance or justify with \
+                     lint:allow",
+                    t.text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,4 @@
+// Golden fixture: exact equality against a float literal.
+pub fn is_flat(delta: f64) -> bool {
+    delta == 0.0
+}

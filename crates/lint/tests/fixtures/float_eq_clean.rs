@@ -1,0 +1,15 @@
+// Golden fixture: tolerance comparison — must NOT fire.
+pub fn is_flat(delta: f64) -> bool {
+    delta.abs() < 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact expectations in tests are fine: the rule skips test code.
+    #[test]
+    fn exact_zero_in_test_is_allowed() {
+        assert!(super::is_flat(0.0) == true);
+        let x = 0.0f64;
+        assert!(x == 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+// Golden fixture: bare float `.max()` plus `partial_cmp` in eval scope.
+pub fn worst_drawdown(xs: &[f64]) -> f64 {
+    let mut worst = f64::NAN;
+    for &x in xs {
+        worst = worst.max(x);
+    }
+    worst
+}
+
+pub fn rank(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

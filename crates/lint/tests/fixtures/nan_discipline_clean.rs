@@ -1,0 +1,13 @@
+// Golden fixture: NaN-aware idioms that must NOT fire nan-discipline.
+pub fn worst_drawdown(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| x.is_finite()).reduce(|a, b| if a > b { a } else { b })
+}
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn clamp_workers(requested: usize) -> usize {
+    // Single integer literal argument: integer clamping, not float math.
+    requested.max(1)
+}

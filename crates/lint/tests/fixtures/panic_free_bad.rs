@@ -1,0 +1,13 @@
+// Golden fixture: panics in a hot path.
+pub fn settle(results: &mut Vec<Option<u64>>) -> u64 {
+    let last = results.pop().unwrap();
+    last.expect("slot must be settled")
+}
+
+pub fn by_key(m: &std::collections::BTreeMap<u64, f64>, k: u64) -> f64 {
+    m[&k]
+}
+
+pub fn window(v: &[f64], a: usize, b: usize) -> &[f64] {
+    &v[a..b]
+}

@@ -1,0 +1,12 @@
+// Golden fixture: fallible flows that must NOT fire panic-free-hot-paths.
+pub fn settle(results: &mut Vec<Option<u64>>) -> Option<u64> {
+    results.pop().flatten()
+}
+
+pub fn by_key(m: &std::collections::BTreeMap<u64, f64>, k: u64) -> f64 {
+    m.get(&k).copied().unwrap_or(f64::NAN)
+}
+
+pub fn window(v: &[f64], a: usize, b: usize) -> Option<&[f64]> {
+    v.get(a..b)
+}

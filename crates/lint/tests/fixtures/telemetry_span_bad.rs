@@ -1,0 +1,7 @@
+// Golden fixture: a kernel entry point timing itself with no span/counter.
+pub fn spmm_kernel(n: usize) -> usize {
+    let t0 = std::time::Instant::now();
+    let out = n * 2;
+    rtgcn_telemetry::record_ns("kernel.spmm_ns", t0.elapsed().as_nanos() as u64);
+    out
+}

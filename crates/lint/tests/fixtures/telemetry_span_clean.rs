@@ -1,0 +1,8 @@
+// Golden fixture: histogram paired with a span — must NOT fire.
+pub fn spmm_kernel(n: usize) -> usize {
+    let _s = rtgcn_telemetry::span("kernel.spmm");
+    let t0 = std::time::Instant::now();
+    let out = n * 2;
+    rtgcn_telemetry::record_ns("kernel.spmm_ns", t0.elapsed().as_nanos() as u64);
+    out
+}

@@ -1,0 +1,5 @@
+// Golden fixture: an allow with no reason is itself a finding.
+pub fn clamp(k: usize, n: usize) -> usize {
+    // lint:allow(nan-discipline)
+    k.min(n).max(1)
+}

@@ -1,0 +1,5 @@
+// Golden fixture: a reasoned allow suppresses the finding and reports clean.
+pub fn clamp(k: usize, n: usize) -> usize {
+    // lint:allow(nan-discipline) usize top-k clamp on index counts, not a float metric
+    k.min(n).max(1)
+}

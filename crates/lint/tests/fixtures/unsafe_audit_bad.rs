@@ -1,0 +1,4 @@
+// Golden fixture: unsafe with no SAFETY comment.
+pub fn first(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

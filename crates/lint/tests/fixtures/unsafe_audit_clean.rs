@@ -1,0 +1,6 @@
+// Golden fixture: audited unsafe — must NOT fire.
+pub fn first(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,115 @@
+//! Golden-fixture tests: one violating and one clean fixture per rule ID.
+//! Fixtures are linted under *virtual* workspace paths so the per-rule
+//! scoping (eval/bench for nan-discipline, the hot list for panic-free,
+//! kernel/pool modules for telemetry) activates exactly as it would on real
+//! files. The `fixtures/` directory is skipped by the workspace walker, so
+//! the corpus never leaks into a real `rtgcn-lint --deny` run.
+
+use rtgcn_lint::report::Report;
+use rtgcn_lint::rules::{self, lint_source};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lint `fixture_name` as if it lived at `virtual_path`; return findings.
+fn lint_at(fixture_name: &str, virtual_path: &str) -> Vec<rules::Finding> {
+    lint_source(virtual_path, &fixture(fixture_name)).0
+}
+
+/// Each violating fixture fires its rule (and only rules we expect), each
+/// clean twin is silent — and the JSON report carries the rule ID, which is
+/// what `--deny` serialises into `results/LINT.json`.
+#[test]
+fn every_rule_has_a_firing_and_a_silent_fixture() {
+    let cases: &[(&str, &str, &str, &str)] = &[
+        // (rule, bad fixture, clean fixture, virtual path)
+        ("nan-discipline", "nan_discipline_bad.rs", "nan_discipline_clean.rs", "crates/eval/src/fixture.rs"),
+        ("panic-free-hot-paths", "panic_free_bad.rs", "panic_free_clean.rs", "crates/bench/src/runner.rs"),
+        ("telemetry-span-discipline", "telemetry_span_bad.rs", "telemetry_span_clean.rs", "crates/tensor/src/ops/fixture.rs"),
+        ("unsafe-audit", "unsafe_audit_bad.rs", "unsafe_audit_clean.rs", "crates/tensor/src/simd.rs"),
+        ("float-literal-equality", "float_eq_bad.rs", "float_eq_clean.rs", "crates/eval/src/fixture.rs"),
+        ("unexplained-allow", "unexplained_allow_bad.rs", "unexplained_allow_clean.rs", "crates/eval/src/fixture.rs"),
+    ];
+    for &(rule, bad, clean, vpath) in cases {
+        let findings = lint_at(bad, vpath);
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "{bad} under {vpath} must fire `{rule}`, got {findings:?}"
+        );
+        // The finding round-trips into the JSON report with its rule ID.
+        let report =
+            Report { findings: findings.clone(), allows: Vec::new(), files_scanned: 1 };
+        assert!(
+            report.to_json().contains(&format!("\"rule\": \"{rule}\"")),
+            "JSON report must carry the rule ID `{rule}`"
+        );
+        let silent = lint_at(clean, vpath);
+        assert!(silent.is_empty(), "{clean} under {vpath} must be clean, got {silent:?}");
+    }
+}
+
+/// The scoping itself: the same nan-discipline trigger is a finding inside
+/// eval, and silent outside it (minus the workspace-wide `partial_cmp` arm).
+#[test]
+fn nan_discipline_minmax_only_fires_in_eval_and_bench() {
+    let src = "pub fn f(a: f64, b: f64) -> f64 { a.max(b) }\n";
+    assert!(!lint_source("crates/graph/src/adj.rs", src).0.iter().any(|f| f.rule == "nan-discipline"));
+    assert!(lint_source("crates/eval/src/metrics.rs", src).0.iter().any(|f| f.rule == "nan-discipline"));
+    assert!(lint_source("crates/bench/src/snapshot.rs", src).0.iter().any(|f| f.rule == "nan-discipline"));
+    // The approved-helper module is the one exemption inside eval.
+    assert!(lint_source("crates/eval/src/float.rs", src).0.is_empty());
+}
+
+/// Test code is exempt from every rule except unsafe-audit: a whole-file
+/// `tests/` path never fires panic/NaN/float-eq rules, but an unaudited
+/// `unsafe` still does.
+#[test]
+fn test_paths_are_exempt_except_unsafe_audit() {
+    let src = r#"
+pub fn helper(v: &[f64]) -> f64 {
+    let x = v.first().unwrap();
+    if *x == 0.0 { return f64::NAN; }
+    unsafe { *v.get_unchecked(0) }
+}
+"#;
+    let findings = lint_source("crates/eval/tests/backtest.rs", src).0;
+    assert_eq!(findings.len(), 1, "only unsafe-audit may fire in test files, got {findings:?}");
+    assert_eq!(findings[0].rule, "unsafe-audit");
+}
+
+/// End-to-end acceptance: seeding a violation into a real directory tree and
+/// running the built `rtgcn-lint --deny --json` binary exits non-zero (3)
+/// with the rule ID present in the JSON report; the clean twin exits 0.
+#[test]
+fn deny_mode_exits_3_and_reports_rule_id_in_json() {
+    let bin = env!("CARGO_BIN_EXE_rtgcn-lint");
+    let root = std::env::temp_dir().join(format!("rtgcn-lint-golden-{}", std::process::id()));
+    let src_dir = root.join("crates/eval/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+
+    // Seeded violation → exit 3, rule ID in the JSON.
+    std::fs::write(src_dir.join("seeded.rs"), fixture("float_eq_bad.rs")).unwrap();
+    let json_path = root.join("results/LINT.json");
+    let out = std::process::Command::new(bin)
+        .args(["--root", root.to_str().unwrap(), "--deny", "--json", json_path.to_str().unwrap()])
+        .output()
+        .expect("run rtgcn-lint");
+    assert_eq!(out.status.code(), Some(3), "deny mode must exit 3 on findings: {out:?}");
+    let json = std::fs::read_to_string(&json_path).expect("LINT.json written");
+    assert!(json.contains("\"rule\": \"float-literal-equality\""), "{json}");
+    assert!(json.contains("seeded.rs"), "{json}");
+
+    // Replace with the clean twin → exit 0, zero findings in the JSON.
+    std::fs::write(src_dir.join("seeded.rs"), fixture("float_eq_clean.rs")).unwrap();
+    let out = std::process::Command::new(bin)
+        .args(["--root", root.to_str().unwrap(), "--deny", "--json", json_path.to_str().unwrap()])
+        .output()
+        .expect("run rtgcn-lint");
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0: {out:?}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"finding_count\": 0"), "{json}");
+
+    std::fs::remove_dir_all(&root).ok();
+}

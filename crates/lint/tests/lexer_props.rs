@@ -1,0 +1,102 @@
+//! Property tests for the lint lexer's core safety guarantee: rule triggers
+//! that appear inside string literals, raw strings, or comments are *data*,
+//! not code, and must never produce a finding. The linter is wired into the
+//! CI gate with `--deny`, so a single false positive from quoted text (an
+//! error message mentioning `unwrap`, a doc comment showing `== 0.0`) would
+//! block every build.
+
+use proptest::prelude::*;
+use rtgcn_lint::lexer::{lex, TokKind};
+use rtgcn_lint::rules::lint_source;
+
+/// Snippets that each fire at least one rule when written as real code in a
+/// hot-path file. None contain `"`, `\`, `#`, or comment delimiters, so they
+/// embed verbatim in every quoting context below.
+const TRIGGERS: &[&str] = &[
+    ".unwrap()",
+    ".expect(msg)",
+    "a.partial_cmp(b)",
+    "x == 0.0",
+    "y != 1.5",
+    "unsafe { }",
+    "w.max(z)",
+    "m[&k]",
+    "v[a..b]",
+    "panic!(oops)",
+];
+
+fn trigger() -> impl Strategy<Value = &'static str> {
+    (0usize..TRIGGERS.len()).prop_map(|i| TRIGGERS[i])
+}
+
+/// Random identifier-safe padding so the trigger sits mid-text, not at a
+/// delimiter boundary.
+fn pad() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0u32..26).prop_map(|c| (b'a' + c as u8) as char), 0..12)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// The quoting contexts under test. Each embeds `text` somewhere the lexer
+/// must treat as opaque.
+fn embed(kind: usize, text: &str) -> String {
+    match kind {
+        0 => format!("pub fn f() {{\n    // {text}\n}}\n"),
+        1 => format!("pub fn f() {{\n    /* {text}\n       {text} */\n}}\n"),
+        2 => format!("/// {text}\npub fn f() {{}}\n"),
+        3 => format!("pub fn f() -> &'static str {{\n    \"{text}\"\n}}\n"),
+        4 => format!("pub fn f() -> &'static str {{\n    r#\"{text}\"#\n}}\n"),
+        _ => format!("pub fn f() -> u8 {{\n    let _s = b\"{text}\";\n    0\n}}\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A trigger quoted in any comment/string context produces zero
+    /// findings, even linted under the most rule-active virtual path in the
+    /// workspace (eval backtest: nan-discipline + panic-free + float-eq all
+    /// scoped on).
+    #[test]
+    fn quoted_triggers_never_fire(
+        (t, kind, before, after) in (trigger(), 0usize..6, pad(), pad())
+    ) {
+        let text = format!("{before} {t} {after}");
+        let src = embed(kind, &text);
+        let (findings, allows) = lint_source("crates/eval/src/backtest.rs", &src);
+        prop_assert!(findings.is_empty(), "src {src:?} produced {findings:?}");
+        prop_assert!(allows.is_empty(), "quoted text parsed as an allow: {allows:?}");
+    }
+
+    /// The lexer agrees: no identifier or punct token materialises from
+    /// quoted text — idents seen by the rules come only from real code.
+    #[test]
+    fn quoted_text_yields_no_ident_tokens(
+        (t, kind, before) in (trigger(), 0usize..6, pad())
+    ) {
+        let text = format!("{before} {t}");
+        let src = embed(kind, &text);
+        let lexed = lex(&src);
+        let leaked: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|tok| {
+                tok.kind == TokKind::Ident
+                    && ["unwrap", "expect", "partial_cmp", "panic", "max"]
+                        .contains(&tok.text.as_str())
+            })
+            .collect();
+        prop_assert!(leaked.is_empty(), "quoted idents leaked from {src:?}: {leaked:?}");
+    }
+
+    /// Sanity inversion: the same trigger written as *code* (not quoted) in
+    /// the same hot file does fire — the silence above is the lexer hiding
+    /// quoted text, not the rules being inert.
+    #[test]
+    fn unquoted_triggers_do_fire(i in 0usize..6) {
+        // The first six triggers are self-contained statements.
+        let t = TRIGGERS[i];
+        let src = format!("pub fn f() {{\n    let _ = {t};\n}}\n");
+        let (findings, _) = lint_source("crates/eval/src/backtest.rs", &src);
+        prop_assert!(!findings.is_empty(), "code trigger `{t}` produced no finding");
+    }
+}

@@ -167,11 +167,18 @@ impl Registry {
 struct ScopeInner {
     registry: Registry,
     sink: Mutex<Option<SinkTarget>>,
+    /// Outstanding [`ScopeGuard`]s across all threads — the enter/exit
+    /// balance the debug-build order/leak checker audits.
+    active_enters: AtomicU64,
 }
 
 impl ScopeInner {
     fn new() -> ScopeInner {
-        ScopeInner { registry: Registry::new(), sink: Mutex::new(None) }
+        ScopeInner {
+            registry: Registry::new(),
+            sink: Mutex::new(None),
+            active_enters: AtomicU64::new(0),
+        }
     }
 }
 
@@ -257,14 +264,34 @@ impl ModelScope {
 
     /// Make this scope current on the calling thread until the guard drops.
     pub fn enter(&self) -> ScopeGuard {
+        self.inner.active_enters.fetch_add(1, Ordering::AcqRel);
         CURRENT_SCOPE.with(|c| c.borrow_mut().push(Arc::clone(&self.inner)));
-        ScopeGuard { _not_send: std::marker::PhantomData }
+        ScopeGuard { entered: Arc::clone(&self.inner), _not_send: std::marker::PhantomData }
     }
 
     /// Flush this scope's aggregate events into its sink, then close the
     /// sink if it is a file (a memory sink stays installed so tests can
     /// still [`ModelScope::drain_memory_sink`] after finishing).
+    ///
+    /// In debug builds this audits the enter/exit balance first: a `finish`
+    /// while some worker still holds a [`ScopeGuard`] means aggregates are
+    /// being flushed mid-write, so a `telemetry.scope_leak` warn event lands
+    /// in this scope's own sink (never a panic — the pool must keep
+    /// draining).
     pub fn finish(&self) {
+        if cfg!(debug_assertions) {
+            let active = self.inner.active_enters.load(Ordering::Acquire);
+            if active > 0 {
+                let msg = format!(
+                    "finish() called with {active} ScopeGuard(s) still active — a worker \
+                     thread has not exited this scope, its metrics may be flushed mid-write"
+                );
+                if enabled(Level::Summary) {
+                    eprintln!("[rtgcn-telemetry] WARN telemetry.scope_leak: {msg}");
+                }
+                emit_for(&self.inner, &Event::warn("telemetry.scope_leak", &msg));
+            }
+        }
         flush_aggregates_for(&self.inner);
         let mut sink = self.inner.sink.lock();
         if matches!(sink.as_ref(), Some(SinkTarget::File(_))) {
@@ -278,14 +305,30 @@ impl ModelScope {
 /// Returned by [`ModelScope::enter`]; restores the previous scope on drop.
 /// `!Send` by construction — it must drop on the thread that entered.
 pub struct ScopeGuard {
+    /// The scope this guard entered — checked against what actually pops.
+    entered: Arc<ScopeInner>,
     _not_send: std::marker::PhantomData<*const ()>,
 }
 
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
-        CURRENT_SCOPE.with(|c| {
-            c.borrow_mut().pop();
-        });
+        let popped = CURRENT_SCOPE.with(|c| c.borrow_mut().pop());
+        // One decrement per guard, paired with the increment in `enter`.
+        self.entered.active_enters.fetch_sub(1, Ordering::AcqRel);
+        // Debug-build order check: guards must unwind LIFO. Dropping them
+        // out of order silently mis-routes every metric recorded between
+        // the two drops, so name the condition loudly — but never panic in
+        // Drop (a panic here would abort if we are already unwinding).
+        if cfg!(debug_assertions) {
+            let in_order = matches!(&popped, Some(s) if Arc::ptr_eq(s, &self.entered));
+            if !in_order {
+                warn(
+                    "telemetry.scope_order",
+                    "ScopeGuard dropped out of LIFO order — metrics recorded on this \
+                     thread may be attributed to the wrong model scope",
+                );
+            }
+        }
     }
 }
 

@@ -243,3 +243,90 @@ fn spans_merge_across_threads() {
     assert!(summary.contains("worker"), "{summary}");
     assert!(summary.contains("| 4\n"), "4 worker spans expected:\n{summary}");
 }
+
+// ------------------------------------------------- scope order/leak checker
+
+/// Guards dropped LIFO, with a balanced finish, must not produce any
+/// `telemetry.scope_*` diagnostics.
+#[test]
+fn balanced_scope_use_emits_no_order_or_leak_warns() {
+    let _g = fresh(tel::Level::Off);
+    let scope = tel::ModelScope::new();
+    scope.install_memory_sink();
+    {
+        let _e = scope.enter();
+        tel::count("inner.work", 1);
+    }
+    scope.finish();
+    let lines = scope.drain_memory_sink();
+    assert!(
+        !lines.iter().any(|l| l.contains("telemetry.scope_")),
+        "clean enter/exit/finish must stay silent, got {lines:?}"
+    );
+}
+
+/// Dropping scope guards out of LIFO order is the worker-pool bug the
+/// checker exists for: the first wrong drop pops the *other* scope, so every
+/// metric recorded in between lands in the wrong registry. Debug builds
+/// report it as a `telemetry.scope_order` warn (never a panic in Drop).
+#[cfg(debug_assertions)]
+#[test]
+fn out_of_order_guard_drop_warns_scope_order() {
+    let _g = fresh(tel::Level::Off);
+    let a = tel::ModelScope::new();
+    let b = tel::ModelScope::new();
+    a.install_memory_sink();
+    let ga = a.enter();
+    let gb = b.enter();
+    // Wrong order: the guard for `a` drops while `b` is still on top.
+    drop(ga);
+    drop(gb);
+    let a_lines = a.drain_memory_sink();
+    assert!(
+        a_lines.iter().any(|l| l.contains("telemetry.scope_order")),
+        "out-of-order drop must warn, got {a_lines:?}"
+    );
+    // The root memory sink catches the second (now also mismatched) pop.
+    let root_lines = tel::drain_memory_sink();
+    assert!(
+        root_lines.iter().any(|l| l.contains("telemetry.scope_order")),
+        "second unwinding drop is also out of order, got {root_lines:?}"
+    );
+}
+
+/// `finish()` while a worker thread still holds a guard flushes aggregates
+/// mid-write; debug builds record `telemetry.scope_leak` in the scope's own
+/// sink. Channel-synchronised so the worker provably holds its guard across
+/// the `finish` call.
+#[cfg(debug_assertions)]
+#[test]
+fn finish_with_live_cross_thread_guard_warns_scope_leak() {
+    let _g = fresh(tel::Level::Off);
+    let scope = tel::ModelScope::new();
+    scope.install_memory_sink();
+    let worker_scope = scope.clone();
+    let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let worker = std::thread::spawn(move || {
+        let _e = worker_scope.enter();
+        entered_tx.send(()).unwrap();
+        // Hold the guard until the main thread has called finish().
+        done_rx.recv().unwrap();
+    });
+    entered_rx.recv().unwrap();
+    scope.finish();
+    done_tx.send(()).unwrap();
+    worker.join().unwrap();
+    let lines = scope.drain_memory_sink();
+    assert!(
+        lines.iter().any(|l| l.contains("telemetry.scope_leak")),
+        "finish with a live guard must warn, got {lines:?}"
+    );
+    // After the worker exits, a second finish is balanced and silent.
+    scope.finish();
+    let lines = scope.drain_memory_sink();
+    assert!(
+        !lines.iter().any(|l| l.contains("telemetry.scope_leak")),
+        "balanced finish must not warn, got {lines:?}"
+    );
+}

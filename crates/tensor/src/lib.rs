@@ -38,6 +38,7 @@
 //! assert!((store.value(w).item() - 2.0).abs() < 1e-2);
 //! ```
 
+pub mod finite;
 pub mod init;
 pub mod linalg;
 pub mod ops;
@@ -48,6 +49,7 @@ pub mod tape;
 mod telemetry_hooks;
 pub mod tensor;
 
+pub use finite::{assert_all_finite, suppress, SuppressGuard};
 pub use linalg::{num_threads, set_num_threads};
 pub use ops::{ConvSpec, CsrEdges, Edges};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};

@@ -115,7 +115,13 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     // writes disjoint: out[i, :] += a[p, i] * b[p, :].
     par_rows(m, m * n * k, out.data_mut(), n, |i, row| {
         for p in 0..k {
-            let av = ad[p * m + i];
+            // SAFETY: `i < m` (par_rows hands each closure a row index below
+            // the `m` passed as its first argument) and `p < k` by the loop
+            // bound, so `p * m + i <= (k-1)*m + (m-1) < k*m == ad.len()`
+            // (`ad` is the data of the `(k×m)` tensor validated above). The
+            // unchecked load drops a bounds check from the innermost
+            // column-strided access the optimiser cannot elide.
+            let av = unsafe { *ad.get_unchecked(p * m + i) };
             if av == 0.0 {
                 continue;
             }

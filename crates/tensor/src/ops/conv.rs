@@ -99,7 +99,7 @@ impl Tape {
             }
         }
 
-        self.push_op(out, vec![x, w, bias], move |ctx| {
+        self.push_op_named("conv1d_causal", out, vec![x, w, bias], move |ctx| {
             let (xd, wd) = (ctx.parents[0].data(), ctx.parents[1].data());
             let g = ctx.grad.data();
             let mut gx = vec![0.0f32; b * c_in * l];

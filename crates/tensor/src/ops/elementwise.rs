@@ -9,6 +9,7 @@ use crate::tensor::Tensor;
 /// `dfa`/`dfb` compute the local derivatives w.r.t. each operand given
 /// `(a, b, out)` values at that element.
 fn binary_broadcast(
+    name: &'static str,
     tape: &mut Tape,
     a: Var,
     b: Var,
@@ -21,7 +22,7 @@ fn binary_broadcast(
     if ashape == bshape {
         // Fast path: no broadcasting, no materialised copies.
         let out = av.zip(bv, fwd);
-        return tape.push_op(out, vec![a, b], move |ctx| {
+        return tape.push_op_named(name, out, vec![a, b], move |ctx| {
             let (av, bv, ov, g) =
                 (ctx.parents[0].data(), ctx.parents[1].data(), ctx.output.data(), ctx.grad.data());
             let mut ga = vec![0.0; av.len()];
@@ -38,11 +39,12 @@ fn binary_broadcast(
     }
     let target: Shape = ashape
         .broadcast_with(&bshape)
+        // lint:allow(panic-free-hot-paths) shape mismatch is a caller programming error, caught by op tests
         .unwrap_or_else(|| panic!("cannot broadcast {ashape:?} with {bshape:?}"));
     let ab = av.broadcast_to(&target);
     let bb = bv.broadcast_to(&target);
     let out = ab.zip(&bb, fwd);
-    tape.push_op(out, vec![a, b], move |ctx| {
+    tape.push_op_named(name, out, vec![a, b], move |ctx| {
         let ab = ctx.parents[0].broadcast_to(&target);
         let bb = ctx.parents[1].broadcast_to(&target);
         let (ad, bd, od, g) = (ab.data(), bb.data(), ctx.output.data(), ctx.grad.data());
@@ -61,9 +63,15 @@ fn binary_broadcast(
 
 /// Apply a unary op; `fwd` maps each element, `df` gives the local derivative
 /// from `(x, y)`.
-fn unary(tape: &mut Tape, x: Var, fwd: fn(f32) -> f32, df: fn(f32, f32) -> f32) -> Var {
+fn unary(
+    name: &'static str,
+    tape: &mut Tape,
+    x: Var,
+    fwd: fn(f32) -> f32,
+    df: fn(f32, f32) -> f32,
+) -> Var {
     let out = tape.value(x).map(fwd);
-    tape.push_op(out, vec![x], move |ctx| {
+    tape.push_op_named(name, out, vec![x], move |ctx| {
         let (xd, yd, g) = (ctx.parents[0].data(), ctx.output.data(), ctx.grad.data());
         let data = (0..xd.len()).map(|i| g[i] * df(xd[i], yd[i])).collect();
         vec![Tensor::new(ctx.parents[0].shape().clone(), data)]
@@ -73,84 +81,84 @@ fn unary(tape: &mut Tape, x: Var, fwd: fn(f32) -> f32, df: fn(f32, f32) -> f32) 
 impl Tape {
     /// `a + b` with broadcasting.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        binary_broadcast(self, a, b, |x, y| x + y, |_, _, _| 1.0, |_, _, _| 1.0)
+        binary_broadcast("add", self, a, b, |x, y| x + y, |_, _, _| 1.0, |_, _, _| 1.0)
     }
 
     /// `a - b` with broadcasting.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        binary_broadcast(self, a, b, |x, y| x - y, |_, _, _| 1.0, |_, _, _| -1.0)
+        binary_broadcast("sub", self, a, b, |x, y| x - y, |_, _, _| 1.0, |_, _, _| -1.0)
     }
 
     /// Elementwise `a * b` with broadcasting.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        binary_broadcast(self, a, b, |x, y| x * y, |_, y, _| y, |x, _, _| x)
+        binary_broadcast("mul", self, a, b, |x, y| x * y, |_, y, _| y, |x, _, _| x)
     }
 
     /// Elementwise `a / b` with broadcasting.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        binary_broadcast(self, a, b, |x, y| x / y, |_, y, _| 1.0 / y, |x, y, _| -x / (y * y))
+        binary_broadcast("div", self, a, b, |x, y| x / y, |_, y, _| 1.0 / y, |x, y, _| -x / (y * y))
     }
 
     /// `-x`.
     pub fn neg(&mut self, x: Var) -> Var {
-        unary(self, x, |v| -v, |_, _| -1.0)
+        unary("neg", self, x, |v| -v, |_, _| -1.0)
     }
 
     /// `x * k` for a compile-time constant `k` (no extra leaf).
     pub fn scale(&mut self, x: Var, k: f32) -> Var {
         let out = self.value(x).map(|v| v * k);
-        self.push_op(out, vec![x], move |ctx| vec![ctx.grad.map(|g| g * k)])
+        self.push_op_named("scale", out, vec![x], move |ctx| vec![ctx.grad.map(|g| g * k)])
     }
 
     /// `x + k` for a constant `k`.
     pub fn add_scalar(&mut self, x: Var, k: f32) -> Var {
         let out = self.value(x).map(|v| v + k);
-        self.push_op(out, vec![x], |ctx| vec![ctx.grad.clone()])
+        self.push_op_named("add_scalar", out, vec![x], |ctx| vec![ctx.grad.clone()])
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: Var) -> Var {
-        unary(self, x, |v| v.max(0.0), |v, _| if v > 0.0 { 1.0 } else { 0.0 })
+        unary("relu", self, x, |v| v.max(0.0), |v, _| if v > 0.0 { 1.0 } else { 0.0 })
     }
 
     /// Leaky ReLU with fixed negative slope 0.2 (the GAT default).
     pub fn leaky_relu(&mut self, x: Var) -> Var {
-        unary(self, x, |v| if v > 0.0 { v } else { 0.2 * v }, |v, _| if v > 0.0 { 1.0 } else { 0.2 })
+        unary("leaky_relu", self, x, |v| if v > 0.0 { v } else { 0.2 * v }, |v, _| if v > 0.0 { 1.0 } else { 0.2 })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        unary(self, x, |v| 1.0 / (1.0 + (-v).exp()), |_, y| y * (1.0 - y))
+        unary("sigmoid", self, x, |v| 1.0 / (1.0 + (-v).exp()), |_, y| y * (1.0 - y))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        unary(self, x, |v| v.tanh(), |_, y| 1.0 - y * y)
+        unary("tanh", self, x, |v| v.tanh(), |_, y| 1.0 - y * y)
     }
 
     /// `exp(x)`.
     pub fn exp(&mut self, x: Var) -> Var {
-        unary(self, x, |v| v.exp(), |_, y| y)
+        unary("exp", self, x, |v| v.exp(), |_, y| y)
     }
 
     /// Natural log; inputs are clamped at `1e-12` to avoid `-inf`.
     pub fn ln(&mut self, x: Var) -> Var {
-        unary(self, x, |v| v.max(1e-12).ln(), |v, _| 1.0 / v.max(1e-12))
+        unary("ln", self, x, |v| v.max(1e-12).ln(), |v, _| 1.0 / v.max(1e-12))
     }
 
     /// `sqrt(x)`; derivative clamped near zero for stability.
     pub fn sqrt(&mut self, x: Var) -> Var {
-        unary(self, x, |v| v.max(0.0).sqrt(), |_, y| 0.5 / y.max(1e-6))
+        unary("sqrt", self, x, |v| v.max(0.0).sqrt(), |_, y| 0.5 / y.max(1e-6))
     }
 
     /// `x²`.
     pub fn square(&mut self, x: Var) -> Var {
-        unary(self, x, |v| v * v, |v, _| 2.0 * v)
+        unary("square", self, x, |v| v * v, |v, _| 2.0 * v)
     }
 
     /// `|x|` (subgradient 0 at 0).
     pub fn abs(&mut self, x: Var) -> Var {
-        unary(self, x, |v| v.abs(), |v, _| {
+        unary("abs", self, x, |v| v.abs(), |v, _| {
             if v > 0.0 {
                 1.0
             } else if v < 0.0 {
@@ -165,7 +173,7 @@ impl Tape {
     /// only where unclamped).
     pub fn clamp_min(&mut self, x: Var, min: f32) -> Var {
         let out = self.value(x).map(|v| v.max(min));
-        self.push_op(out, vec![x], move |ctx| {
+        self.push_op_named("clamp_min", out, vec![x], move |ctx| {
             let (xd, g) = (ctx.parents[0].data(), ctx.grad.data());
             let data = (0..xd.len()).map(|i| if xd[i] > min { g[i] } else { 0.0 }).collect();
             vec![Tensor::new(ctx.parents[0].shape().clone(), data)]

@@ -21,7 +21,7 @@ impl Tape {
         let loss = pv.data().iter().zip(target.data()).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>()
             / n;
         let t = target.clone();
-        self.push_op(Tensor::scalar(loss), vec![pred], move |ctx| {
+        self.push_op_named("mse", Tensor::scalar(loss), vec![pred], move |ctx| {
             let g = ctx.grad.item() * 2.0 / n;
             let data = ctx.parents[0]
                 .data()
@@ -53,7 +53,7 @@ impl Tape {
             }
         }
         let t = target.clone();
-        self.push_op(Tensor::scalar((loss as f32) / norm), vec![pred], move |ctx| {
+        self.push_op_named("pairwise_rank_loss", Tensor::scalar((loss as f32) / norm), vec![pred], move |ctx| {
             let g = ctx.grad.item() / norm;
             let pd = ctx.parents[0].data();
             let td = t.data();
@@ -91,7 +91,7 @@ impl Tape {
             loss -= lpv.data()[i * c + l];
         }
         let labels = labels.to_vec();
-        self.push_op(Tensor::scalar(loss / b as f32), vec![logp], move |ctx| {
+        self.push_op_named("cross_entropy", Tensor::scalar(loss / b as f32), vec![logp], move |ctx| {
             let g = ctx.grad.item() / b as f32;
             let mut grad = vec![0.0f32; b * c];
             for (i, &l) in labels.iter().enumerate() {

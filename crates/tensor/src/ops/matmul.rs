@@ -15,7 +15,7 @@ impl Tape {
         kernel_counter(&CALLS, "tensor.matmul.calls").inc(1);
         let _t = rtgcn_telemetry::debug_span("tensor.matmul");
         let out = linalg::matmul(self.value(a), self.value(b));
-        self.push_op(out, vec![a, b], |ctx| {
+        self.push_op_named("matmul", out, vec![a, b], |ctx| {
             let ga = linalg::matmul_nt(ctx.grad, ctx.parents[1]);
             let gb = linalg::matmul_tn(ctx.parents[0], ctx.grad);
             vec![ga, gb]
@@ -38,7 +38,7 @@ impl Tape {
         for (i, v) in out.data_mut().iter_mut().enumerate() {
             *v += bv.data()[i % n];
         }
-        self.push_op(out, vec![x, w, bias], move |ctx| {
+        self.push_op_named("linear", out, vec![x, w, bias], move |ctx| {
             let gx = linalg::matmul_nt(ctx.grad, ctx.parents[1]);
             let gw = linalg::matmul_tn(ctx.parents[0], ctx.grad);
             let mut gb = vec![0.0; n];
@@ -55,7 +55,7 @@ impl Tape {
         let (av, bv) = (self.value(a), self.value(b));
         assert_eq!(av.shape(), bv.shape(), "dot requires identical shapes");
         let out = Tensor::scalar(av.data().iter().zip(bv.data()).map(|(&x, &y)| x * y).sum());
-        self.push_op(out, vec![a, b], |ctx| {
+        self.push_op_named("dot", out, vec![a, b], |ctx| {
             let g = ctx.grad.item();
             vec![ctx.parents[1].map(|v| v * g), ctx.parents[0].map(|v| v * g)]
         })

@@ -25,7 +25,7 @@ impl Tape {
     /// Sum of every element, producing a scalar.
     pub fn sum_all(&mut self, x: Var) -> Var {
         let out = Tensor::scalar(self.value(x).sum());
-        self.push_op(out, vec![x], |ctx| {
+        self.push_op_named("sum_all", out, vec![x], |ctx| {
             let g = ctx.grad.item();
             vec![Tensor::full(ctx.parents[0].shape().clone(), g)]
         })
@@ -56,7 +56,7 @@ impl Tape {
                 }
             }
         }
-        self.push_op(out, vec![x], move |ctx| {
+        self.push_op_named("sum_axis", out, vec![x], move |ctx| {
             let mut gx = Tensor::zeros(ctx.parents[0].shape().clone());
             let (gxd, gd) = (gx.data_mut(), ctx.grad.data());
             for o in 0..outer {
@@ -100,7 +100,7 @@ impl Tape {
                 }
             }
         }
-        self.push_op(out, vec![x], move |ctx| {
+        self.push_op_named("softmax", out, vec![x], move |ctx| {
             // dx = y ⊙ (g − Σ_j g_j y_j) per row.
             let (yd, gd) = (ctx.output.data(), ctx.grad.data());
             let mut gx = vec![0.0; yd.len()];
@@ -132,7 +132,7 @@ impl Tape {
                 }
             }
         }
-        self.push_op(out, vec![x], move |ctx| {
+        self.push_op_named("log_softmax", out, vec![x], move |ctx| {
             // dx = g − softmax(x) · Σ_j g_j per row.
             let (yd, gd) = (ctx.output.data(), ctx.grad.data());
             let mut gx = vec![0.0; yd.len()];
@@ -158,7 +158,7 @@ impl Tape {
             let row = &xv.data()[i * c..(i + 1) * c];
             out.data_mut()[i] = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
         }
-        self.push_op(out, vec![x], move |ctx| {
+        self.push_op_named("row_norm", out, vec![x], move |ctx| {
             let (xd, nd, gd) = (ctx.parents[0].data(), ctx.output.data(), ctx.grad.data());
             let mut gx = vec![0.0; xd.len()];
             for i in 0..r {

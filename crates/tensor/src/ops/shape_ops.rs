@@ -56,7 +56,7 @@ impl Tape {
     pub fn reshape(&mut self, x: Var, shape: impl Into<Shape>) -> Var {
         let shape = shape.into();
         let out = self.value(x).reshape(shape);
-        self.push_op(out, vec![x], |ctx| {
+        self.push_op_named("reshape", out, vec![x], |ctx| {
             vec![ctx.grad.reshape(ctx.parents[0].shape().clone())]
         })
     }
@@ -64,7 +64,7 @@ impl Tape {
     /// Matrix transpose (rank-2 only).
     pub fn transpose2(&mut self, x: Var) -> Var {
         let out = self.value(x).transpose();
-        self.push_op(out, vec![x], |ctx| vec![ctx.grad.transpose()])
+        self.push_op_named("transpose2", out, vec![x], |ctx| vec![ctx.grad.transpose()])
     }
 
     /// Permute the axes of a rank-3 tensor, e.g. `(T,N,F) → (N,F,T)` with
@@ -72,7 +72,7 @@ impl Tape {
     pub fn permute3(&mut self, x: Var, perm: [usize; 3]) -> Var {
         let out = permute3_data(self.value(x), perm);
         let inv = inverse_perm(perm);
-        self.push_op(out, vec![x], move |ctx| vec![permute3_data(ctx.grad, inv)])
+        self.push_op_named("permute3", out, vec![x], move |ctx| vec![permute3_data(ctx.grad, inv)])
     }
 
     /// Concatenate along axis 0. All inputs must agree on trailing dims.
@@ -96,7 +96,7 @@ impl Tape {
             data.extend_from_slice(self.value(x).data());
         }
         let out = Tensor::new(dims, data);
-        self.push_op(out, xs.to_vec(), move |ctx| {
+        self.push_op_named("concat0", out, xs.to_vec(), move |ctx| {
             let g = ctx.grad.data();
             let mut grads = Vec::with_capacity(lens.len());
             let mut offset = 0;
@@ -124,7 +124,7 @@ impl Tape {
             data.extend_from_slice(&bv.data()[r * y..(r + 1) * y]);
         }
         let out = Tensor::new([rows, x + y], data);
-        self.push_op(out, vec![a, b], move |ctx| {
+        self.push_op_named("concat_cols", out, vec![a, b], move |ctx| {
             let g = ctx.grad.data();
             let mut ga = Vec::with_capacity(rows * x);
             let mut gb = Vec::with_capacity(rows * y);
@@ -152,7 +152,7 @@ impl Tape {
         }
         let out = Tensor::new(dims, data);
         let n = xs.len();
-        self.push_op(out, xs.to_vec(), move |ctx| {
+        self.push_op_named("stack0", out, xs.to_vec(), move |ctx| {
             let g = ctx.grad.data();
             (0..n)
                 .map(|i| {
@@ -168,7 +168,7 @@ impl Tape {
     /// Slice rows `[start, end)` along axis 0; gradient zero-pads back.
     pub fn slice_rows(&mut self, x: Var, start: usize, end: usize) -> Var {
         let out = self.value(x).slice_axis0(start, end);
-        self.push_op(out, vec![x], move |ctx| {
+        self.push_op_named("slice_rows", out, vec![x], move |ctx| {
             let mut gx = Tensor::zeros(ctx.parents[0].shape().clone());
             let inner: usize = ctx.parents[0].dims()[1..].iter().product::<usize>().max(1);
             gx.data_mut()[start * inner..end * inner].copy_from_slice(ctx.grad.data());
@@ -190,7 +190,7 @@ impl Tape {
             data.extend_from_slice(&xv.data()[i * c..(i + 1) * c]);
         }
         let out = Tensor::new([indices.len(), c], data);
-        self.push_op(out, vec![x], move |ctx| {
+        self.push_op_named("gather_rows", out, vec![x], move |ctx| {
             let mut gx = Tensor::zeros(ctx.parents[0].shape().clone());
             let g = ctx.grad.data();
             for (k, &i) in indices.iter().enumerate() {

@@ -245,7 +245,7 @@ impl Tape {
             }
         }
         let pairs = Arc::clone(&edges.pairs);
-        self.push_op(out, vec![weights, x], move |ctx| {
+        self.push_op_named("spmm", out, vec![weights, x], move |ctx| {
             let (wd, xd, g) = (ctx.parents[0].data(), ctx.parents[1].data(), ctx.grad.data());
             let mut gw = vec![0.0f32; wd.len()];
             let mut gx = vec![0.0f32; xd.len()];
@@ -292,7 +292,7 @@ impl Tape {
             }
         }
         let pairs = Arc::clone(&edges.pairs);
-        self.push_op(Tensor::from_vec(out), vec![x], move |ctx| {
+        self.push_op_named("edge_dot", Tensor::from_vec(out), vec![x], move |ctx| {
             let (xd, g) = (ctx.parents[0].data(), ctx.grad.data());
             let mut gx = vec![0.0f32; xd.len()];
             for (e, &[s, d]) in pairs.iter().enumerate() {
@@ -331,7 +331,7 @@ impl Tape {
             exp[e] /= z[d].max(1e-12);
         }
         let pairs = Arc::clone(&edges.pairs);
-        self.push_op(Tensor::from_vec(exp), vec![logits], move |ctx| {
+        self.push_op_named("segment_softmax", Tensor::from_vec(exp), vec![logits], move |ctx| {
             // Same Jacobian as row softmax, per destination group:
             // dx_e = y_e (g_e − Σ_{e'∈in(d)} g_{e'} y_{e'}).
             let (yd, g) = (ctx.output.data(), ctx.grad.data());
@@ -365,7 +365,7 @@ impl Tape {
         let vd = vv.data();
         let out: Vec<f32> = edges.pairs.iter().map(|p| vd[p[which]]).collect();
         let pairs = Arc::clone(&edges.pairs);
-        self.push_op(Tensor::from_vec(out), vec![v], move |ctx| {
+        self.push_op_named("gather_edge", Tensor::from_vec(out), vec![v], move |ctx| {
             let mut gv = vec![0.0f32; ctx.parents[0].numel()];
             for (e, p) in pairs.iter().enumerate() {
                 gv[p[which]] += ctx.grad.data()[e];
@@ -393,7 +393,7 @@ impl Tape {
         let mut out = Tensor::zeros([n, f]);
         spmm_csr_forward(csr, wv.data(), 0, xv.data(), 1, f, out.data_mut());
         let csr = csr.clone();
-        self.push_op(out, vec![weights, x], move |ctx| {
+        self.push_op_named("spmm_csr", out, vec![weights, x], move |ctx| {
             let (wd, xd, gd) = (ctx.parents[0].data(), ctx.parents[1].data(), ctx.grad.data());
             let (gw, gx) = spmm_csr_backward(&csr, wd, 0, xd, gd, 1, f);
             vec![
@@ -434,12 +434,13 @@ impl Tape {
                 );
                 csr.len()
             }
+            // lint:allow(panic-free-hot-paths) weight rank is fixed by the two call sites; anything else is a programming error
             r => panic!("spmm_batched weights must be (E) or (P, E), got rank {r}"),
         };
         let mut out = Tensor::zeros([p, n, f]);
         spmm_csr_forward(csr, wv.data(), plane_stride, xv.data(), p, f, out.data_mut());
         let csr = csr.clone();
-        self.push_op(out, vec![weights, x], move |ctx| {
+        self.push_op_named("spmm_batched", out, vec![weights, x], move |ctx| {
             let (wd, xd, gd) = (ctx.parents[0].data(), ctx.parents[1].data(), ctx.grad.data());
             let (gw, gx) = spmm_csr_backward(&csr, wd, plane_stride, xd, gd, p, f);
             vec![
@@ -478,7 +479,7 @@ impl Tape {
             });
         }
         let pairs = Arc::clone(&edges.pairs);
-        self.push_op(out, vec![x], move |ctx| {
+        self.push_op_named("edge_dot_batched", out, vec![x], move |ctx| {
             let (xd, gd) = (ctx.parents[0].data(), ctx.grad.data());
             let mut gx = vec![0.0f32; xd.len()];
             crate::linalg::par_rows(p, p * e_count * f, &mut gx, n * f, |pi, grow| {
@@ -523,7 +524,7 @@ impl Tape {
             out.extend(edges.pairs.iter().map(|pair| plane[pair[which]]));
         }
         let pairs = Arc::clone(&edges.pairs);
-        self.push_op(Tensor::new([p, e_count], out), vec![v], move |ctx| {
+        self.push_op_named("gather_edge_batched", Tensor::new([p, e_count], out), vec![v], move |ctx| {
             let gd = ctx.grad.data();
             let mut gv = vec![0.0f32; ctx.parents[0].numel()];
             for pi in 0..p {
@@ -569,7 +570,7 @@ impl Tape {
             });
         }
         let pairs = Arc::clone(&edges.pairs);
-        self.push_op(out, vec![logits], move |ctx| {
+        self.push_op_named("segment_softmax_batched", out, vec![logits], move |ctx| {
             let (yd, gd) = (ctx.output.data(), ctx.grad.data());
             let mut gx = vec![0.0f32; yd.len()];
             crate::linalg::par_rows(p, p * e_count * 4, &mut gx, e_count, |pi, grow| {

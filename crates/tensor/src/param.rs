@@ -105,6 +105,9 @@ impl ParamStore {
         let bindings = std::mem::take(&mut *self.bindings.borrow_mut());
         for (id, var) in bindings {
             if let Some(g) = tape.grad(var) {
+                // Kernel-boundary invariant: the optimiser must never see a
+                // non-finite gradient; name the parameter it was bound to.
+                crate::finite_check!("absorbed gradient", &self.slots[id.0].name, g.data());
                 self.slots[id.0].grad.add_assign(g);
             }
         }

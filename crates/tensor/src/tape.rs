@@ -46,6 +46,9 @@ struct Node {
     value: Tensor,
     parents: Vec<usize>,
     backward: Option<BackwardFn>,
+    /// Op label for diagnostics — `finite_check!` failures name the
+    /// producing node with it.
+    name: &'static str,
 }
 
 /// A single forward pass's computation graph.
@@ -72,7 +75,7 @@ impl Tape {
     /// Record a leaf (input or parameter value). Leaves receive gradients but
     /// propagate nothing further.
     pub fn leaf(&mut self, value: Tensor) -> Var {
-        self.push(value, Vec::new(), None)
+        self.push("leaf", value, Vec::new(), None)
     }
 
     /// Record a constant: identical to a leaf. The distinction is purely
@@ -89,15 +92,38 @@ impl Tape {
         parents: Vec<Var>,
         backward: impl Fn(&BackwardCtx<'_>) -> Vec<Tensor> + 'static,
     ) -> Var {
-        let parents = parents.into_iter().map(|v| v.0).collect();
-        self.push(value, parents, Some(Box::new(backward)))
+        self.push_op_named("op", value, parents, backward)
     }
 
-    fn push(&mut self, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> Var {
+    /// [`Tape::push_op`] with an op label: `finite_check!` failures in this
+    /// node's forward value or backward gradients are reported against
+    /// `name`, so NaN is pinned to the producing kernel. The built-in ops
+    /// all register named; prefer this for custom ops too.
+    pub fn push_op_named(
+        &mut self,
+        name: &'static str,
+        value: Tensor,
+        parents: Vec<Var>,
+        backward: impl Fn(&BackwardCtx<'_>) -> Vec<Tensor> + 'static,
+    ) -> Var {
+        let parents = parents.into_iter().map(|v| v.0).collect();
+        self.push(name, value, parents, Some(Box::new(backward)))
+    }
+
+    fn push(
+        &mut self,
+        name: &'static str,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+    ) -> Var {
         for &p in &parents {
             assert!(p < self.nodes.len(), "parent Var belongs to a different tape");
         }
-        self.nodes.push(Node { value, parents, backward });
+        // Kernel-boundary invariant: a non-finite forward output is caught
+        // here, at the op that produced it (debug builds only).
+        crate::finite_check!("forward output", name, value.data());
+        self.nodes.push(Node { value, parents, backward, name });
         Var(self.nodes.len() - 1)
     }
 
@@ -145,6 +171,15 @@ impl Tape {
                     node.parents.iter().map(|&p| &self.nodes[p].value).collect();
                 let ctx = BackwardCtx { grad: &grad, output: &node.value, parents: &parent_values };
                 let parent_grads = backward(&ctx);
+                // Kernel-boundary invariant: each gradient is checked the
+                // moment the producing op's backward returns it, so NaN is
+                // attributed to this node — not to wherever the gradient
+                // accumulates three ops later (debug builds only).
+                if cfg!(debug_assertions) {
+                    for pg in &parent_grads {
+                        crate::finite_check!("backward gradient", node.name, pg.data());
+                    }
+                }
                 assert_eq!(
                     parent_grads.len(),
                     node.parents.len(),

@@ -3,10 +3,14 @@
 # paper-style table to its log and writes a JSON artifact into results/;
 # telemetry JSONL streams land next to the .txt captures (see --logs).
 #
-# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume]
+# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint]
 #   --logs DIR        directory for harness stdout captures and telemetry
 #                     JSONL (default results/logs; forwarded to every
 #                     harness binary)
+#   --lint            static-analysis gate only (skips the full queue):
+#                     build the workspace, run clippy -D warnings, then
+#                     rtgcn-lint --deny --json results/LINT.json; exits 3
+#                     on any lint finding
 #   --bench-snapshot  after the queue, fold the table4 run logs into
 #                     results/BENCH_table4.json via rtgcn-report; if
 #                     results/BENCH_table4.baseline.json exists, diff
@@ -37,6 +41,7 @@ R=results/logs
 SNAPSHOT=0
 VERIFY=0
 RESUME=0
+LINT=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --logs)
@@ -48,13 +53,26 @@ while [ $# -gt 0 ]; do
       VERIFY=1; shift ;;
     --resume)
       RESUME=1; shift ;;
+    --lint)
+      LINT=1; shift ;;
     *)
-      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume])" >&2; exit 2 ;;
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint])" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$R"
 
 B=./target/release
+
+if [ "$LINT" = 1 ]; then
+  # Static-analysis gate only: the same build + clippy + rtgcn-lint
+  # sequence the full queue runs before its harnesses. `set -e` propagates
+  # rtgcn-lint's exit 3 on findings.
+  cargo build --release --workspace
+  cargo clippy --workspace -- -D warnings
+  $B/rtgcn-lint --deny --json results/LINT.json
+  echo LINT_OK
+  exit 0
+fi
 
 if [ "$RESUME" = 1 ]; then
   # Fault-tolerance smoke: a killed harness must resume from its job journal.
@@ -114,10 +132,18 @@ if [ "$VERIFY" = 1 ]; then
   exit 0
 fi
 
-# Lint gate: the harnesses below silently produce wrong tables if warnings
-# (unused results, lossy casts) slip in. Offline-safe — all deps are
-# path-vendored, so clippy never touches the network.
+# Build once up front — every harness below (and rtgcn-lint) runs from
+# target/release, and a bare `cargo build` would only build the root
+# package, leaving stale harness binaries behind.
+cargo build --release --workspace
+# Lint gates: the harnesses below silently produce wrong tables if warnings
+# (unused results, lossy casts) or convention violations (NaN-mangling
+# min/max, panicking hot paths) slip in. Offline-safe — all deps are
+# path-vendored, so neither gate touches the network. rtgcn-lint exits 3
+# on any finding; results/LINT.json is the committed findings/allows
+# inventory.
 cargo clippy --workspace -- -D warnings
+$B/rtgcn-lint --deny --json results/LINT.json
 $B/table2_dataset_stats --logs "$R"                    > $R/table2.txt 2>&1
 $B/table3_relation_stats --logs "$R"                   > $R/table3.txt 2>&1
 RTGCN_JOBS=1 $B/table4_baselines --logs "$R" --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1
