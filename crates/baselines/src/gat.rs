@@ -151,12 +151,16 @@ impl RtGat {
     fn forward(&mut self, tape: &mut Tape, x: &Tensor, training: bool) -> Var {
         let (t, n) = (x.dims()[0], x.dims()[1]);
         let x3 = tape.constant(x.clone());
+        let relational = rtgcn_telemetry::span("relational");
         let stacked = self.gat_all(tape, x3, t, n); // (T, N, F)
+        drop(relational);
         let nct = tape.permute3(stacked, [1, 2, 0]); // (N, F, T)
+        let temporal = rtgcn_telemetry::span("temporal");
         let tcn = self.tcn.as_ref().unwrap();
         let out = tcn.forward(tape, &self.store, nct, training, &mut self.rng);
         let pooled3 = tape.permute3(out, [2, 0, 1]); // (T', N, H)
         let pooled = tape.mean_axis(pooled3, 0); // (N, H)
+        drop(temporal);
         let w = self.store.bind(tape, self.fc_w.unwrap());
         let b = self.store.bind(tape, self.fc_b.unwrap());
         let scores = tape.linear(pooled, w, b);
@@ -176,7 +180,9 @@ impl StockRanker for RtGat {
         let mut opt = Adam::new(self.cfg.lr, 1e-4);
         let days = ds.train_end_days(self.cfg.t_steps);
         let mut epoch_losses = Vec::new();
+        let _fit = rtgcn_telemetry::span("fit");
         for _ in 0..self.cfg.epochs {
+            let _epoch = rtgcn_telemetry::span("epoch");
             let mut acc = 0.0f64;
             for &day in &days {
                 let s = ds.sample(day, self.cfg.t_steps, self.cfg.n_features);
@@ -184,8 +190,12 @@ impl StockRanker for RtGat {
                 let pred = self.forward(&mut tape, &s.x, true);
                 let loss = tape.combined_rank_loss(pred, &s.y, self.cfg.alpha);
                 acc += tape.value(loss).item() as f64;
-                tape.backward(loss);
-                self.store.absorb_grads(&tape);
+                {
+                    let _t = rtgcn_telemetry::span("backward");
+                    tape.backward(loss);
+                    self.store.absorb_grads(&tape);
+                }
+                let _t = rtgcn_telemetry::span("optim");
                 clip_grad_norm(&mut self.store, 5.0);
                 opt.step(&mut self.store);
             }

@@ -74,8 +74,10 @@ impl LstmRanker {
 
     fn forward(&self, tape: &mut Tape, x: &Tensor) -> rtgcn_tensor::Var {
         let n = x.dims()[1];
+        let temporal = rtgcn_telemetry::span("temporal");
         let xs = split_window(tape, x);
         let hs = self.cell.encode(tape, &self.store, &xs, n);
+        drop(temporal);
         let w = self.store.bind(tape, self.w_out);
         let b = self.store.bind(tape, self.b_out);
         let out = tape.linear(*hs.last().expect("empty window"), w, b);
@@ -98,7 +100,9 @@ impl StockRanker for LstmRanker {
             &self.name(),
             HealthConfig { abort_on_divergence: self.cfg.abort_on_divergence, ..HealthConfig::default() },
         );
+        let _fit = rtgcn_telemetry::span("fit");
         for _ in 0..self.cfg.epochs {
+            let _epoch = rtgcn_telemetry::span("epoch");
             let e0 = Instant::now();
             let mut acc = 0.0f64;
             for &day in &days {

@@ -168,8 +168,12 @@ pub fn optimise_step(
     max_norm: f32,
 ) -> (f32, f32) {
     let loss_val = tape.value(loss).item();
-    tape.backward(loss);
-    store.absorb_grads(tape);
+    {
+        let _t = rtgcn_telemetry::span("backward");
+        tape.backward(loss);
+        store.absorb_grads(tape);
+    }
+    let _t = rtgcn_telemetry::span("optim");
     let grad_norm = clip_grad_norm(store, max_norm);
     opt.step(store);
     (loss_val, grad_norm)

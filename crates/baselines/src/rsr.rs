@@ -131,9 +131,12 @@ impl Rsr {
         let cell = self.cell.as_ref().expect("fit() builds the model first");
         let csr = self.csr.as_ref().unwrap();
         let edges = &csr.edges;
+        let temporal = rtgcn_telemetry::span("temporal");
         let xs = split_window(tape, x);
         let hs = cell.encode(tape, &self.store, &xs, n);
         let e = *hs.last().expect("non-empty window"); // (N, H)
+        drop(temporal);
+        let _relational = rtgcn_telemetry::span("relational");
         // Relation strength per edge.
         let sim = tape.edge_dot(edges, e, 1.0); // e_iᵀe_j
         let strength = match self.cfg.variant {
@@ -151,6 +154,7 @@ impl Rsr {
         let weights = tape.mul(strength, inv_deg);
         let revised = tape.spmm_csr(csr, weights, e); // (N, H)
         let revised = tape.leaky_relu(revised);
+        drop(_relational);
         // Concat [e ; revised] along features.
         let e_t = tape.transpose2(e);
         let r_t = tape.transpose2(revised);
@@ -183,7 +187,9 @@ impl StockRanker for Rsr {
             &self.name(),
             HealthConfig { abort_on_divergence: self.cfg.abort_on_divergence, ..HealthConfig::default() },
         );
+        let _fit = rtgcn_telemetry::span("fit");
         for _ in 0..self.cfg.epochs {
+            let _epoch = rtgcn_telemetry::span("epoch");
             let e0 = Instant::now();
             let mut acc = 0.0f64;
             for &day in &days {

@@ -134,6 +134,7 @@ impl Sthan {
     fn forward(&self, tape: &mut Tape, x: &Tensor) -> Var {
         let n = x.dims()[1];
         let t_len = x.dims()[0];
+        let temporal = rtgcn_telemetry::span("temporal");
         let xs = split_window(tape, x);
         let w_emb = self.store.bind(tape, self.w_emb.unwrap());
         let b_emb = self.store.bind(tape, self.b_emb.unwrap());
@@ -177,12 +178,15 @@ impl Sthan {
             });
         }
         let z = pooled.expect("non-empty window"); // (N, H)
+        drop(temporal);
         // Spatial hypergraph propagation.
+        let relational = rtgcn_telemetry::span("relational");
         let hw = tape.constant(self.hg_weights.clone().unwrap());
         let prop = tape.spmm_csr(self.hg_csr.as_ref().unwrap(), hw, z);
         let w_hg = self.store.bind(tape, self.w_hg.unwrap());
         let prop = tape.matmul(prop, w_hg);
         let zp = tape.relu(prop); // (N, H)
+        drop(relational);
         // Score head on [z ; z'].
         let z_t = tape.transpose2(z);
         let zp_t = tape.transpose2(zp);
@@ -211,7 +215,9 @@ impl StockRanker for Sthan {
             &self.name(),
             HealthConfig { abort_on_divergence: self.cfg.abort_on_divergence, ..HealthConfig::default() },
         );
+        let _fit = rtgcn_telemetry::span("fit");
         for _ in 0..self.cfg.epochs {
+            let _epoch = rtgcn_telemetry::span("epoch");
             let e0 = Instant::now();
             let mut acc = 0.0f64;
             for &day in &days {

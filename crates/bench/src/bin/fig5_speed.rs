@@ -5,6 +5,10 @@
 //! over Rank_LSTM and 13.4× over RSR on NASDAQ). ASCII bars approximate the
 //! figure's layout (shaded part = testing time).
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::{HarnessArgs, Spec};
 use rtgcn_baselines::{CommonConfig, ModelKind};
 use rtgcn_core::Strategy;

@@ -3,6 +3,10 @@
 //! S&P 500 or CSI 300 stand-ins). Prints an ASCII chart plus the raw series
 //! as a JSON artifact.
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::{HarnessArgs, Spec};
 use rtgcn_baselines::CommonConfig;
 use rtgcn_core::Strategy;

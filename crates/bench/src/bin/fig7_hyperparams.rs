@@ -3,6 +3,10 @@
 //! and ranking-loss weight α ∈ {0, 1e-4, 1e-3, 1e-2, 0.1, 0.2, 0.5} (g–i).
 //! One panel group per market; each prints IRR-1/5/10 per setting.
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::HarnessArgs;
 use rtgcn_baselines::CommonConfig;
 use rtgcn_core::{RtGcn, RtGcnConfig, StockRanker, Strategy};

@@ -5,6 +5,10 @@
 //! the temporal dimension and that closely connected stocks get similar
 //! predictions.
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::HarnessArgs;
 use rtgcn_core::{RtGcn, RtGcnConfig, StockRanker, Strategy};
 use rtgcn_eval::write_json;

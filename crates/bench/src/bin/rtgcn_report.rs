@@ -5,22 +5,31 @@
 //!
 //! ```text
 //! rtgcn-report --logs results/logs --harness table4_baselines \
-//!     [--out results/BENCH_table4_baselines.json] [--md results/BENCH.md]
+//!     [--out results/BENCH_table4_baselines.json] [--md results/BENCH.md] \
+//!     [--profile-md results/PROFILE.md] [--top 20]
 //! ```
 //!
 //! Baseline mode (CI gate; exits 3 when any metric regresses past the
-//! threshold):
+//! threshold, printing the top regressing span paths by self time so the
+//! failure names a kernel, not just a number):
 //!
 //! ```text
-//! rtgcn-report --baseline results/BENCH.baseline.json results/BENCH.json \
-//!     [--threshold 20]
+//! rtgcn-report --baseline results/BENCH.baseline.json [NEW_JSON] \
+//!     [--threshold 20] [--verify-perf] [--top 5]
 //! ```
 
-use rtgcn_bench::snapshot::{build_snapshot, diff_snapshots, render_markdown, BenchSnapshot};
+use rtgcn_bench::snapshot::{
+    attribute_span_regressions, build_snapshot, diff_snapshots, render_markdown,
+    render_profile_markdown, render_span_attribution, BenchSnapshot,
+};
 use std::path::PathBuf;
 use std::process::exit;
 
-const USAGE: &str = "usage:\n  rtgcn-report --logs DIR --harness NAME [--out FILE] [--md FILE]\n  rtgcn-report --baseline BASE_JSON NEW_JSON [--threshold PCT|RATIO]\n\n--threshold accepts either a percentage (values > 3, e.g. 20 = +20%) or a\nratio multiplier (values in (1, 3], e.g. 1.25 = +25%).";
+const USAGE: &str = "usage:\n  rtgcn-report --logs DIR --harness NAME [--out FILE] [--md FILE] [--profile-md FILE] [--top N]\n  rtgcn-report --baseline BASE_JSON [NEW_JSON] [--threshold PCT|RATIO] [--verify-perf] [--top N]\n\n--threshold accepts either a percentage (values > 3, e.g. 20 = +20%) or a\nratio multiplier (values in (1, 3], e.g. 1.25 = +25%).\n--verify-perf defaults NEW_JSON to results/BENCH_table4.verify.json and the\nthreshold to 1.25, matching the run_experiments.sh verify stage.";
+
+/// NEW_JSON default under `--verify-perf`: where the verify stage of
+/// `run_experiments.sh` writes its freshly-measured snapshot.
+const VERIFY_SNAPSHOT: &str = "results/BENCH_table4.verify.json";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error[rtgcn-report]: {msg}");
@@ -40,44 +49,75 @@ fn main() {
     let mut harness: Option<String> = None;
     let mut out: Option<String> = None;
     let mut md: Option<String> = None;
-    let mut baseline: Option<(String, String)> = None;
-    let mut threshold = 20.0f64;
+    let mut profile_md: Option<String> = None;
+    let mut baseline: Option<(String, Option<String>)> = None;
+    let mut threshold: Option<f64> = None;
+    let mut verify_perf = false;
+    let mut top: Option<usize> = None;
 
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")))
-        };
-        match flag.as_str() {
-            "--logs" => logs = Some(value("--logs")),
-            "--harness" => harness = Some(value("--harness")),
-            "--out" => out = Some(value("--out")),
-            "--md" => md = Some(value("--md")),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, name: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| fail(&format!("{name} requires a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--logs" => logs = Some(value(&args, &mut i, "--logs")),
+            "--harness" => harness = Some(value(&args, &mut i, "--harness")),
+            "--out" => out = Some(value(&args, &mut i, "--out")),
+            "--md" => md = Some(value(&args, &mut i, "--md")),
+            "--profile-md" => profile_md = Some(value(&args, &mut i, "--profile-md")),
+            "--verify-perf" => verify_perf = true,
+            "--top" => {
+                top = Some(
+                    value(&args, &mut i, "--top")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("--top: {e}"))),
+                );
+            }
             "--baseline" => {
-                let base = value("--baseline");
-                let new = value("--baseline");
+                let base = value(&args, &mut i, "--baseline");
+                // NEW_JSON is optional: absent when the next token is a flag
+                // (or the end), in which case --verify-perf supplies it.
+                let new = match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        Some(next.clone())
+                    }
+                    _ => None,
+                };
                 baseline = Some((base, new));
             }
             "--threshold" => {
-                let raw: f64 = value("--threshold")
+                let raw: f64 = value(&args, &mut i, "--threshold")
                     .parse()
                     .unwrap_or_else(|e| fail(&format!("--threshold: {e}")));
                 // Small values are ratio multipliers (1.25 = +25%), larger
                 // ones plain percentages (20 = +20%).
-                threshold = if raw <= 3.0 {
+                threshold = Some(if raw <= 3.0 {
                     if raw <= 1.0 {
                         fail("--threshold ratio must be > 1.0 (e.g. 1.25 = +25%)");
                     }
                     (raw - 1.0) * 100.0
                 } else {
                     raw
-                };
+                });
             }
             other => fail(&format!("unknown flag {other:?}")),
         }
+        i += 1;
     }
 
     if let Some((base_path, new_path)) = baseline {
+        let new_path = new_path.unwrap_or_else(|| {
+            if verify_perf {
+                VERIFY_SNAPSHOT.to_string()
+            } else {
+                fail("--baseline needs NEW_JSON (or --verify-perf for the default)")
+            }
+        });
+        let threshold = threshold.unwrap_or(if verify_perf { 25.0 } else { 20.0 });
         let base = read_snapshot(&base_path);
         let new = read_snapshot(&new_path);
         let regs = diff_snapshots(&base, &new, threshold);
@@ -95,6 +135,15 @@ fn main() {
                 r.model, r.metric, r.base, r.new, r.pct
             );
         }
+        // Attribution: which span paths' *self* time grew the most. This is
+        // what turns "epoch_secs_mean +40%" into "spmm_csr +38%".
+        let spans = attribute_span_regressions(&base, &new, top.unwrap_or(5));
+        if spans.is_empty() {
+            eprintln!("no span-level attribution available (snapshots lack shared span trees)");
+        } else {
+            eprintln!("top span self-time regressions:");
+            eprint!("{}", render_span_attribution(&spans));
+        }
         exit(3);
     }
 
@@ -111,6 +160,15 @@ fn main() {
     rtgcn_eval::write_json(&out_path, &snap)
         .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
     println!("wrote {out_path} ({} models)", snap.models.len());
+    if let Some(profile_path) = profile_md {
+        let rendered = render_profile_markdown(&snap, top.unwrap_or(20));
+        if let Some(dir) = PathBuf::from(&profile_path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&profile_path, rendered)
+            .unwrap_or_else(|e| fail(&format!("cannot write {profile_path}: {e}")));
+        println!("wrote {profile_path}");
+    }
     if let Some(md_path) = md {
         let rendered = render_markdown(&snap);
         if let Some(dir) = PathBuf::from(&md_path).parent() {

@@ -3,6 +3,10 @@
 //! universes (at `--scale paper` the numbers match the paper exactly by
 //! construction; smaller scales show the reduced counts actually used).
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::HarnessArgs;
 use rtgcn_eval::Table;
 use rtgcn_market::{StockDataset, UniverseSpec};

@@ -2,6 +2,10 @@
 //! counts and relation ratios per market, regenerated from the calibrated
 //! relation generators.
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::HarnessArgs;
 use rtgcn_eval::Table;
 use rtgcn_market::{StockDataset, UniverseSpec};

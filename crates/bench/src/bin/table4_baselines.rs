@@ -2,6 +2,10 @@
 //! NASDAQ, NYSE and CSI, with the improvement of RT-GCN (T) over the
 //! strongest baseline and paired Wilcoxon p-values over the seeded runs.
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::{evaluate_roster, strongest_baseline, HarnessArgs, ModelRow, RunnerConfig, Spec};
 use rtgcn_baselines::CommonConfig;
 use rtgcn_eval::{fmt_opt, fmt_p, paired, write_json, Alternative, Table};

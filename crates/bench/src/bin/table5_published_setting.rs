@@ -5,6 +5,10 @@
 //! (the paper takes baseline rows from the original publications; we
 //! regenerate them from our reimplementations — DESIGN.md §4.4).
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::{evaluate_roster, HarnessArgs, RunnerConfig, Spec};
 use rtgcn_baselines::{CommonConfig, ModelKind};
 use rtgcn_core::Strategy;

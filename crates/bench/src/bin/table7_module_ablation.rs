@@ -2,6 +2,10 @@
 //! T-Conv (temporal convolution only) vs the full RT-GCN (U), across all
 //! three markets.
 
+// Opt-in allocation tracking (RTGCN_ALLOC_STATS=1) needs the tracking
+// global allocator installed in every harness binary.
+rtgcn_telemetry::install_tracking_allocator!();
+
 use rtgcn_bench::{evaluate_roster, HarnessArgs, RunnerConfig, Spec};
 use rtgcn_baselines::CommonConfig;
 use rtgcn_core::Strategy;

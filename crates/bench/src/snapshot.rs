@@ -35,6 +35,17 @@ pub struct SpanStatSnap {
     pub total_ns: u64,
 }
 
+/// One node of the hierarchical span tree: the flat totals of
+/// [`SpanStatSnap`] plus the derived *self* time (total minus direct
+/// children), stored in pre-order (lexicographic path order).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpanTreeNode {
+    pub path: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+}
+
 /// One point of a gauge series.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PointSnap {
@@ -65,6 +76,10 @@ pub struct ModelSnapshot {
     pub phase_ns: BTreeMap<String, u64>,
     pub hists: Vec<HistStat>,
     pub spans: Vec<SpanStatSnap>,
+    /// Hierarchical view of `spans` with derived self times. `Option` so
+    /// snapshots written before this field existed still deserialize
+    /// (the vendored serde maps a missing `Option` field to `None`).
+    pub span_tree: Option<Vec<SpanTreeNode>>,
     pub counters: BTreeMap<String, u64>,
     pub series: Vec<SeriesSnap>,
     /// Backtest throughput: scored days per second of backtest-span time.
@@ -139,6 +154,21 @@ pub fn model_snapshot(model: &str, events: &[Event]) -> ModelSnapshot {
     let counters: BTreeMap<String, u64> =
         last_per_name(events, "counter").values().map(|e| (e.name.clone(), e.count)).collect();
 
+    // Hierarchical span tree: self time = total minus direct children,
+    // computed from the flat totals exactly like the telemetry summary.
+    let totals: BTreeMap<String, u64> =
+        spans.iter().map(|s| (s.path.clone(), s.total_ns)).collect();
+    let selfs = rtgcn_telemetry::spantree::self_totals(&totals);
+    let span_tree: Vec<SpanTreeNode> = spans
+        .iter()
+        .map(|s| SpanTreeNode {
+            path: s.path.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            self_ns: selfs.get(&s.path).copied().unwrap_or(s.total_ns),
+        })
+        .collect();
+
     // Gauge series: every streamed point, grouped by name in arrival order.
     let mut series_map: BTreeMap<String, Vec<PointSnap>> = BTreeMap::new();
     for e in events.iter().filter(|e| e.kind == "series") {
@@ -199,6 +229,7 @@ pub fn model_snapshot(model: &str, events: &[Event]) -> ModelSnapshot {
         phase_ns,
         hists,
         spans,
+        span_tree: Some(span_tree),
         counters,
         series,
         backtest_days_per_sec,
@@ -338,6 +369,101 @@ pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: 
     out
 }
 
+/// One span path whose *self* time grew relative to the baseline — the
+/// attribution unit `rtgcn-report` prints when a baseline diff fails.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpanRegression {
+    pub model: String,
+    pub path: String,
+    pub base_self_ns: u64,
+    pub new_self_ns: u64,
+    /// Signed percent change of self time relative to the baseline.
+    pub pct: f64,
+}
+
+/// Minimum baseline self time for a span path to participate in
+/// attribution. Same rationale as [`HIST_FLOOR_NS`]: sub-millisecond spans
+/// swing wildly from scheduling noise and cannot explain a visible
+/// end-to-end regression.
+const SPAN_FLOOR_NS: u64 = 1_000_000;
+
+/// Attribute a regression to span paths: for every model present in both
+/// snapshots, compare self time per shared span path and return the top-`k`
+/// growers (by percent change, descending), skipping paths whose baseline
+/// self time is under [`SPAN_FLOOR_NS`]. Paths present in only one snapshot
+/// are ignored — renamed spans are a code change, not a regression.
+pub fn attribute_span_regressions(
+    base: &BenchSnapshot,
+    new: &BenchSnapshot,
+    k: usize,
+) -> Vec<SpanRegression> {
+    let mut out = Vec::new();
+    for nm in &new.models {
+        let Some(bm) = base.models.iter().find(|m| m.model == nm.model) else { continue };
+        let (Some(bt), Some(nt)) = (&bm.span_tree, &nm.span_tree) else { continue };
+        for nn in nt {
+            let Some(bn) = bt.iter().find(|n| n.path == nn.path) else { continue };
+            if bn.self_ns < SPAN_FLOOR_NS || nn.self_ns <= bn.self_ns {
+                continue;
+            }
+            out.push(SpanRegression {
+                model: nm.model.clone(),
+                path: nn.path.clone(),
+                base_self_ns: bn.self_ns,
+                new_self_ns: nn.self_ns,
+                pct: pct_change(bn.self_ns as f64, nn.self_ns as f64),
+            });
+        }
+    }
+    out.sort_by(|a, b| b.pct.total_cmp(&a.pct).then_with(|| a.path.cmp(&b.path)));
+    out.truncate(k);
+    out
+}
+
+/// Render the attribution list as the lines `rtgcn-report` prints under a
+/// failed perf gate, e.g. `RT-GCN  seed/fit/epoch/relational/spmm_csr  self +38.2%  (12.0ms -> 16.6ms)`.
+pub fn render_span_attribution(regs: &[SpanRegression]) -> String {
+    let mut out = String::new();
+    for r in regs {
+        out.push_str(&format!(
+            "  {}  {}  self +{:.1}%  ({} -> {})\n",
+            r.model,
+            r.path,
+            r.pct,
+            fmt_ms(r.base_self_ns) + "ms",
+            fmt_ms(r.new_self_ns) + "ms",
+        ));
+    }
+    out
+}
+
+/// Render a profiling report: the top-`n` span paths by self time across
+/// all models in the snapshot, as a markdown table.
+pub fn render_profile_markdown(snap: &BenchSnapshot, n: usize) -> String {
+    let mut rows: Vec<(&str, &SpanTreeNode)> = Vec::new();
+    for m in &snap.models {
+        if let Some(tree) = &m.span_tree {
+            rows.extend(tree.iter().filter(|t| t.self_ns > 0).map(|t| (m.model.as_str(), t)));
+        }
+    }
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then_with(|| a.1.path.cmp(&b.1.path)));
+    rows.truncate(n);
+    let mut out = format!("# PROFILE — {} (top {} spans by self time)\n\n", snap.harness, n);
+    out.push_str("| Model | Span path | Self ms | Total ms | Calls |\n");
+    out.push_str("|---|---|---:|---:|---:|\n");
+    for (model, t) in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            model,
+            t.path,
+            fmt_ms(t.self_ns),
+            fmt_ms(t.total_ns),
+            t.count,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +593,87 @@ mod tests {
         };
         let md = render_markdown(&snap);
         assert!(md.contains("| RT-GCN (T) | Healthy | 4 |"), "{md}");
+    }
+
+    #[test]
+    fn span_tree_derives_self_time_from_direct_children() {
+        let m = model_snapshot("m", &sample_events());
+        let tree = m.span_tree.as_ref().expect("snapshot builds a span tree");
+        let epoch = tree.iter().find(|t| t.path == "seed/fit/epoch").unwrap();
+        assert_eq!(epoch.total_ns, 8_000_000_000);
+        // 8 s total minus loss (3 s) and optim (1 s) children.
+        assert_eq!(epoch.self_ns, 4_000_000_000);
+        let loss = tree.iter().find(|t| t.path == "seed/fit/epoch/loss").unwrap();
+        assert_eq!(loss.self_ns, loss.total_ns, "leaf self == total");
+        // Pre-order: parent precedes children.
+        let paths: Vec<&str> = tree.iter().map(|t| t.path.as_str()).collect();
+        let epoch_i = paths.iter().position(|p| *p == "seed/fit/epoch").unwrap();
+        let loss_i = paths.iter().position(|p| *p == "seed/fit/epoch/loss").unwrap();
+        assert!(epoch_i < loss_i);
+    }
+
+    #[test]
+    fn old_snapshot_json_without_span_tree_still_parses() {
+        let mut m = model_snapshot("m", &sample_events());
+        m.span_tree = None;
+        let snap = BenchSnapshot { harness: "t".into(), created_ms: 0, models: vec![m] };
+        let text = serde_json::to_string(&snap).unwrap();
+        // An old snapshot simply lacks the field.
+        let old = text.replace("\"span_tree\":null,", "");
+        assert_ne!(old, text, "field must have been stripped");
+        let back: BenchSnapshot = serde_json::from_str(&old).unwrap();
+        assert!(back.models[0].span_tree.is_none());
+        assert_eq!(back.models[0].epochs, 4);
+    }
+
+    #[test]
+    fn attribution_names_the_grown_span_and_respects_the_floor() {
+        let base_model = model_snapshot("m", &sample_events());
+        let base =
+            BenchSnapshot { harness: "h".into(), created_ms: 0, models: vec![base_model.clone()] };
+        let mut worse = base_model.clone();
+        {
+            let tree = worse.span_tree.as_mut().unwrap();
+            // loss self grows 50%, optim only 10%; epoch self unchanged.
+            tree.iter_mut().find(|t| t.path == "seed/fit/epoch/loss").unwrap().self_ns =
+                4_500_000_000;
+            tree.iter_mut().find(|t| t.path == "seed/fit/epoch/optim").unwrap().self_ns =
+                1_100_000_000;
+        }
+        let new = BenchSnapshot { harness: "h".into(), created_ms: 1, models: vec![worse] };
+        let regs = attribute_span_regressions(&base, &new, 3);
+        assert_eq!(regs[0].path, "seed/fit/epoch/loss");
+        assert!((regs[0].pct - 50.0).abs() < 1e-6, "{}", regs[0].pct);
+        assert_eq!(regs[1].path, "seed/fit/epoch/optim");
+        // top-k truncation.
+        assert_eq!(attribute_span_regressions(&base, &new, 1).len(), 1);
+        // The printable form names the path and the percentage.
+        let text = render_span_attribution(&regs);
+        assert!(text.contains("seed/fit/epoch/loss  self +50.0%"), "{text}");
+        // A tiny span under the floor never attributes, however much it grows.
+        let mut tiny_base = base_model.clone();
+        tiny_base.span_tree.as_mut().unwrap().iter_mut().for_each(|t| t.self_ns = 500);
+        let mut tiny_new = tiny_base.clone();
+        tiny_new.span_tree.as_mut().unwrap().iter_mut().for_each(|t| t.self_ns = 50_000);
+        let b = BenchSnapshot { harness: "h".into(), created_ms: 0, models: vec![tiny_base] };
+        let n = BenchSnapshot { harness: "h".into(), created_ms: 1, models: vec![tiny_new] };
+        assert!(attribute_span_regressions(&b, &n, 10).is_empty());
+    }
+
+    #[test]
+    fn profile_markdown_ranks_spans_by_self_time() {
+        let snap = BenchSnapshot {
+            harness: "table4".into(),
+            created_ms: 0,
+            models: vec![model_snapshot("m", &sample_events())],
+        };
+        let md = render_profile_markdown(&snap, 2);
+        let lines: Vec<&str> = md.lines().collect();
+        // Title + blank + header + separator + 2 rows, epoch self (4 s)
+        // before loss self (3 s).
+        assert!(lines[4].contains("seed/fit/epoch |"), "{md}");
+        assert!(lines[5].contains("seed/fit/epoch/loss"), "{md}");
+        assert_eq!(lines.len(), 6, "{md}");
     }
 
     #[test]

@@ -580,6 +580,58 @@ fn rule_telemetry_span(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     const KERNEL: [&str; 3] =
         ["crates/tensor/src/ops/", "crates/core/src/model.rs", "crates/core/src/layers.rs"];
     const POOL: [&str; 2] = ["crates/bench/src/runner.rs", "crates/bench/src/journal.rs"];
+
+    // Workspace-wide: span names must be string literals. The profiling
+    // pipeline (span-tree snapshots, folded stacks, baseline attribution)
+    // keys on span *paths* — a name computed at runtime produces unstable
+    // paths that can never be diffed against a baseline. The telemetry
+    // crate itself is exempt: its internals forward `name` parameters.
+    if !ctx.in_scope(&["crates/telemetry/src/"]) {
+        for (bi, t) in ctx.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "span" | "debug_span") {
+                continue;
+            }
+            if ctx.in_test.get(bi).copied().unwrap_or(false) {
+                continue;
+            }
+            // Call position only — not `.span(` methods or `fn span(` defs.
+            if !ctx.tokens.get(bi + 1).map(|n| n.text == "(").unwrap_or(false) {
+                continue;
+            }
+            match bi.checked_sub(1).and_then(|p| ctx.tokens.get(p)).map(|p| p.text.as_str()) {
+                Some(".") | Some("fn") => continue,
+                Some("::") => {
+                    // Qualified calls: only telemetry's own free fns count;
+                    // `SomeType::span(...)` is someone else's API.
+                    let telemetry_qual = bi
+                        .checked_sub(2)
+                        .and_then(|p| ctx.tokens.get(p))
+                        .map(|q| q.text == "rtgcn_telemetry" || q.text == "tel")
+                        .unwrap_or(false);
+                    if !telemetry_qual {
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            let literal_name =
+                ctx.tokens.get(bi + 2).map(|a| a.kind == TokKind::Str).unwrap_or(false);
+            if !literal_name {
+                push(
+                    findings,
+                    TELEMETRY_SPAN,
+                    ctx,
+                    t.line,
+                    format!(
+                        "`{}` called with a non-literal name — span paths must be stable \
+                         string literals for profiling and baseline attribution",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
     let kernel_scoped = ctx.in_scope(&KERNEL);
     let pool_scoped = ctx.in_scope(&POOL);
     if !kernel_scoped && !pool_scoped {

@@ -5,3 +5,9 @@ pub fn spmm_kernel(n: usize) -> usize {
     rtgcn_telemetry::record_ns("kernel.spmm_ns", t0.elapsed().as_nanos() as u64);
     out
 }
+
+// Golden fixture: a runtime-computed span name — paths must be literals.
+pub fn dynamic_span(which: &str) {
+    let name = format!("kernel.{which}");
+    let _s = rtgcn_telemetry::span(&name);
+}

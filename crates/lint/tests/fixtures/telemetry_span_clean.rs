@@ -6,3 +6,9 @@ pub fn spmm_kernel(n: usize) -> usize {
     rtgcn_telemetry::record_ns("kernel.spmm_ns", t0.elapsed().as_nanos() as u64);
     out
 }
+
+// Literal span names and unrelated `.span(` methods stay silent.
+pub fn literal_span(parser: &mut Parser) -> usize {
+    let _s = rtgcn_telemetry::debug_span("kernel.detail");
+    parser.span(3)
+}

@@ -191,6 +191,12 @@ impl HealthMonitor {
         gauge("fit.loss.l2", record.epoch, record.l2 as f64);
         gauge("fit.grad_norm", record.epoch, record.grad_norm as f64);
         gauge("fit.weight_norm", record.epoch, record.weight_norm as f64);
+        if crate::alloc::tracking_enabled() {
+            // Per-epoch peak of live heap bytes (process-global — see the
+            // caveats on `alloc`; meaningful per model with RTGCN_JOBS=1).
+            gauge("mem.peak_bytes", record.epoch, crate::alloc::peak_live_bytes() as f64);
+            crate::alloc::reset_peak();
+        }
         if self.steps > 0 {
             let assessed = self.assess(&record);
             self.verdict = self.verdict.max(assessed);

@@ -52,8 +52,11 @@
 //! library/test use; [`init_harness`] defaults to `summary` when the
 //! variable is unset so experiment binaries are observable out of the box).
 
+pub mod alloc;
 pub mod health;
 mod prometheus;
+pub mod spantree;
+pub mod trace;
 
 pub use prometheus::render_prometheus;
 
@@ -132,14 +135,22 @@ struct SpanStat {
     total_ns: u64,
     min_ns: u64,
     max_ns: u64,
+    /// Bytes allocated on the recording thread while spans under this path
+    /// were open (0 unless `RTGCN_ALLOC_STATS=1`; see [`alloc`]).
+    alloc_bytes: u64,
+    /// Bytes freed on the recording thread while spans under this path
+    /// were open.
+    freed_bytes: u64,
 }
 
 impl SpanStat {
-    fn record(&mut self, ns: u64) {
+    fn record(&mut self, ns: u64, alloc_bytes: u64, freed_bytes: u64) {
         self.count += 1;
         self.total_ns = self.total_ns.saturating_add(ns);
         self.min_ns = if self.count == 1 { ns } else { self.min_ns.min(ns) };
         self.max_ns = self.max_ns.max(ns);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(alloc_bytes);
+        self.freed_bytes = self.freed_bytes.saturating_add(freed_bytes);
     }
 }
 
@@ -164,12 +175,17 @@ impl Registry {
 // ---------------------------------------------------------------- scopes
 
 /// One telemetry scope: a metric registry plus an optional JSONL sink.
-struct ScopeInner {
-    registry: Registry,
+pub(crate) struct ScopeInner {
+    pub(crate) registry: Registry,
     sink: Mutex<Option<SinkTarget>>,
     /// Outstanding [`ScopeGuard`]s across all threads — the enter/exit
     /// balance the debug-build order/leak checker audits.
     active_enters: AtomicU64,
+    /// Buffered Chrome-trace events for this scope (see [`trace`]).
+    pub(crate) trace: Mutex<trace::TraceBuf>,
+    /// `(harness, model)` labels captured from `meta` events; name the
+    /// scope's trace/folded export files.
+    pub(crate) labels: Mutex<(String, String)>,
 }
 
 impl ScopeInner {
@@ -178,6 +194,8 @@ impl ScopeInner {
             registry: Registry::new(),
             sink: Mutex::new(None),
             active_enters: AtomicU64::new(0),
+            trace: Mutex::new(trace::TraceBuf::default()),
+            labels: Mutex::new((String::new(), String::new())),
         }
     }
 }
@@ -194,14 +212,20 @@ thread_local! {
 }
 
 /// Run `f` against the calling thread's current scope (root by default).
+/// Tolerates TLS teardown (`try_with`): telemetry recorded from a thread's
+/// destructors falls back to the root scope instead of panicking.
 fn with_scope<R>(f: impl FnOnce(&ScopeInner) -> R) -> R {
-    CURRENT_SCOPE.with(|c| {
-        let stack = c.borrow();
-        match stack.last() {
-            Some(s) => f(s),
-            None => f(root_scope()),
-        }
-    })
+    let current = CURRENT_SCOPE.try_with(|c| c.borrow().last().cloned()).ok().flatten();
+    match current {
+        Some(s) => f(&s),
+        None => f(root_scope()),
+    }
+}
+
+/// Crate-internal alias so sibling modules ([`trace`]) can reach the
+/// current scope without re-exporting `ScopeInner` details.
+pub(crate) fn with_scope_inner<R>(f: impl FnOnce(&ScopeInner) -> R) -> R {
+    with_scope(f)
 }
 
 pub(crate) fn with_registry<R>(f: impl FnOnce(&Registry) -> R) -> R {
@@ -293,6 +317,7 @@ impl ModelScope {
             }
         }
         flush_aggregates_for(&self.inner);
+        trace::write_exports_for(&self.inner);
         let mut sink = self.inner.sink.lock();
         if matches!(sink.as_ref(), Some(SinkTarget::File(_))) {
             if let Some(SinkTarget::File(mut w)) = sink.take() {
@@ -312,7 +337,7 @@ pub struct ScopeGuard {
 
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
-        let popped = CURRENT_SCOPE.with(|c| c.borrow_mut().pop());
+        let popped = CURRENT_SCOPE.try_with(|c| c.borrow_mut().pop()).ok().flatten();
         // One decrement per guard, paired with the increment in `enter`.
         self.entered.active_enters.fetch_sub(1, Ordering::AcqRel);
         // Debug-build order check: guards must unwind LIFO. Dropping them
@@ -398,6 +423,10 @@ thread_local! {
 struct ActiveSpan {
     path: String,
     start: Instant,
+    /// Thread-local allocation counter snapshots at open (0 when the
+    /// tracking allocator is disabled; see [`alloc`]).
+    alloc0: u64,
+    freed0: u64,
 }
 
 /// RAII span timer. Created by [`span`]/[`debug_span`]; records into the
@@ -409,16 +438,22 @@ impl SpanGuard {
     const INACTIVE: SpanGuard = SpanGuard(None);
 
     fn open(name: &str) -> SpanGuard {
-        let path = SPAN_STACK.with(|s| {
-            let mut s = s.borrow_mut();
-            let path = match s.last() {
-                Some(parent) => format!("{parent}/{name}"),
-                None => name.to_string(),
-            };
-            s.push(path.clone());
-            path
-        });
-        SpanGuard(Some(ActiveSpan { path, start: Instant::now() }))
+        let path = SPAN_STACK
+            .try_with(|s| {
+                let mut s = s.borrow_mut();
+                let path = match s.last() {
+                    Some(parent) => format!("{parent}/{name}"),
+                    None => name.to_string(),
+                };
+                s.push(path.clone());
+                path
+            })
+            // TLS teardown: record as a root span without a stack frame.
+            .unwrap_or_else(|_| name.to_string());
+        let (alloc0, freed0) =
+            if alloc::tracking_enabled() { alloc::thread_counters() } else { (0, 0) };
+        trace::record_begin(&path);
+        SpanGuard(Some(ActiveSpan { path, start: Instant::now(), alloc0, freed0 }))
     }
 
     /// Elapsed time so far (zero for inactive guards).
@@ -433,9 +468,20 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(ActiveSpan { path, start }) = self.0.take() else { return };
+        let Some(ActiveSpan { path, start, alloc0, freed0 }) = self.0.take() else { return };
         let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        SPAN_STACK.with(|s| {
+        let (alloc_bytes, freed_bytes) = if alloc::tracking_enabled() {
+            let (a1, f1) = alloc::thread_counters();
+            (a1.wrapping_sub(alloc0), f1.wrapping_sub(freed0))
+        } else {
+            (0, 0)
+        };
+        // This drop also runs during unwind (`catch_unwind` pool jobs): the
+        // elapsed time must still land in the registry, the trace `E` event
+        // must still close its `B`, and the stack must never be left with a
+        // stale frame — hence `try_with` (no panic across TLS teardown) and
+        // the out-of-order-tolerant pop below.
+        let _ = SPAN_STACK.try_with(|s| {
             let mut s = s.borrow_mut();
             // Pop our own frame; tolerate out-of-order drops defensively.
             if s.last() == Some(&path) {
@@ -444,7 +490,10 @@ impl Drop for SpanGuard {
                 s.remove(pos);
             }
         });
-        with_registry(|r| r.spans.lock().entry(path.clone()).or_default().record(ns));
+        trace::record_end(&path);
+        with_registry(|r| {
+            r.spans.lock().entry(path.clone()).or_default().record(ns, alloc_bytes, freed_bytes)
+        });
         if enabled(Level::Debug) {
             emit(&Event::span(&path, 1, ns));
         }
@@ -768,6 +817,15 @@ fn close_sink_for(scope: &ScopeInner) {
 }
 
 fn emit_for(scope: &ScopeInner, event: &Event) {
+    // `meta` events carry the run labels the trace exporters name files by.
+    if event.kind == "meta" {
+        let mut labels = scope.labels.lock();
+        match event.name.as_str() {
+            "harness" => labels.0 = event.msg.clone(),
+            "model" => labels.1 = event.msg.clone(),
+            _ => {}
+        }
+    }
     let Ok(line) = serde_json::to_string(event) else { return };
     match scope.sink.lock().as_mut() {
         Some(SinkTarget::File(w)) => {
@@ -778,7 +836,36 @@ fn emit_for(scope: &ScopeInner, event: &Event) {
     }
 }
 
+/// Fold the scope's span-level allocation attribution into `alloc.*`
+/// counters (set, not add — flushes and summaries may both publish). Root
+/// spans already transitively contain their children's bytes, so summing
+/// them gives the scope's total without double counting; the peak is the
+/// process-global high-water mark (see the caveats on [`alloc`]).
+fn publish_alloc_counters_for(scope: &ScopeInner) {
+    if !alloc::tracking_enabled() {
+        return;
+    }
+    let (allocated, freed) = {
+        let spans = scope.registry.spans.lock();
+        spans
+            .iter()
+            .filter(|(path, _)| !path.contains('/'))
+            .fold((0u64, 0u64), |(a, f), (_, st)| {
+                (a.saturating_add(st.alloc_bytes), f.saturating_add(st.freed_bytes))
+            })
+    };
+    let mut counters = scope.registry.counters.lock();
+    for (name, value) in [
+        ("alloc.bytes_allocated", allocated),
+        ("alloc.bytes_freed", freed),
+        ("alloc.peak_live_bytes", alloc::peak_live_bytes()),
+    ] {
+        counters.entry(name.to_string()).or_default().store(value, Ordering::Relaxed);
+    }
+}
+
 fn flush_aggregates_for(scope: &ScopeInner) {
+    publish_alloc_counters_for(scope);
     let r = &scope.registry;
     for (path, st) in r.spans.lock().iter() {
         emit_for(scope, &Event::span(path, st.count, st.total_ns));
@@ -868,30 +955,56 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
-/// Render the current scope's aggregated span tree, counters and histogram
-/// percentiles as human-readable text (what [`print_summary`] writes to
-/// stderr).
+/// Human-readable byte count (`1.5KiB`, `2.3MiB`, ...).
+fn format_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = b as f64;
+    if b < KIB {
+        format!("{b}B")
+    } else if b < KIB * KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else if b < KIB * KIB * KIB {
+        format!("{:.1}MiB", b / (KIB * KIB))
+    } else {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    }
+}
+
+/// Render the current scope's aggregated span tree (hierarchical, with per
+/// node **self time** = total minus direct children), counters and
+/// histogram percentiles as human-readable text (what [`print_summary`]
+/// writes to stderr). With `RTGCN_ALLOC_STATS=1` each span row gains a
+/// self-allocated-bytes column.
 pub fn render_summary() -> String {
+    with_scope(publish_alloc_counters_for);
+    let aggs = spantree::snapshot_current();
+    let show_alloc = alloc::tracking_enabled();
     with_registry(|r| {
         let mut out = String::new();
-        let spans = r.spans.lock();
-        if !spans.is_empty() {
-            out.push_str("span tree (total | mean | count):\n");
-            for (path, st) in spans.iter() {
-                let depth = path.matches('/').count();
-                let name = path.rsplit('/').next().unwrap_or(path);
-                let mean = st.total_ns.checked_div(st.count).unwrap_or(0);
+        if !aggs.is_empty() {
+            out.push_str(if show_alloc {
+                "span tree (total | self | mean | count | self-alloc):\n"
+            } else {
+                "span tree (total | self | mean | count):\n"
+            });
+            for a in &aggs {
+                let mean = a.total_ns.checked_div(a.count).unwrap_or(0);
                 out.push_str(&format!(
-                    "{:indent$}{name:<28} {:>9} | {:>9} | {}\n",
+                    "{:indent$}{:<28} {:>9} | {:>9} | {:>9} | {}",
                     "",
-                    format_ns(st.total_ns),
+                    a.name(),
+                    format_ns(a.total_ns),
+                    format_ns(a.self_ns),
                     format_ns(mean),
-                    st.count,
-                    indent = 2 * depth,
+                    a.count,
+                    indent = 2 * a.depth(),
                 ));
+                if show_alloc {
+                    out.push_str(&format!(" | {}", format_bytes(a.self_alloc_bytes)));
+                }
+                out.push('\n');
             }
         }
-        drop(spans);
         let counters = r.counters.lock();
         let live: Vec<_> = counters
             .iter()
@@ -956,6 +1069,9 @@ impl Drop for Telemetry {
         if enabled(Level::Summary) {
             print_summary();
         }
+        // Export any trace/folded profile the final scope still buffers
+        // (serial harnesses: the last model's spans live in the root scope).
+        with_scope(trace::write_exports_for);
         close_sink();
     }
 }
@@ -986,6 +1102,8 @@ pub fn init_harness(harness: &str, log_dir: &Path) -> Telemetry {
     if LEVEL.load(Ordering::Relaxed) == LEVEL_UNSET {
         init_level_from_env(Level::Summary);
     }
+    alloc::init_from_env();
+    trace::init_from_env();
     let path = log_dir.join(format!("run-{}.jsonl", sanitize_label(harness)));
     if let Err(e) = install_file_sink(&path) {
         eprintln!("[rtgcn-telemetry] cannot open JSONL sink {}: {e}", path.display());
@@ -1002,6 +1120,8 @@ pub fn init_harness(harness: &str, log_dir: &Path) -> Telemetry {
 /// [`ModelScope`] per model instead.
 pub fn begin_model_run(log_dir: &Path, harness: &str, model: &str) {
     flush_aggregates();
+    // Export the previous model's trace before `reset` clears its spans.
+    with_scope(trace::write_exports_for);
     reset();
     let path = run_log_path(log_dir, harness, model);
     if let Err(e) = install_file_sink(&path) {
@@ -1009,6 +1129,21 @@ pub fn begin_model_run(log_dir: &Path, harness: &str, model: &str) {
     }
     emit(&Event::meta("harness", harness));
     emit(&Event::meta("model", model));
+}
+
+/// Test-only seeded slowdown for the perf gate (`RTGCN_PERF_CANARY_NS`):
+/// a hot kernel (`Tape::spmm_csr`) sleeps this many nanoseconds per call,
+/// so `run_experiments.sh --verify-perf` can prove end to end that a real
+/// kernel regression both fails the threshold diff *and* is attributed to
+/// the right span path. 0 (the default, env unset/unparseable) disables it.
+pub fn perf_canary_ns() -> u64 {
+    static CANARY: OnceLock<u64> = OnceLock::new();
+    *CANARY.get_or_init(|| {
+        std::env::var("RTGCN_PERF_CANARY_NS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    })
 }
 
 #[cfg(test)]

@@ -74,6 +74,12 @@ fn render_registry(r: &crate::Registry) -> String {
         let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {total}");
         let _ = writeln!(out, "{m}_sum {}", h.sum_ns.load(Ordering::Relaxed));
         let _ = writeln!(out, "{m}_count {total}");
+        // Pre-computed p50/p95/p99 as summary-style quantile series, so a
+        // scraper gets percentile estimates without re-deriving them from
+        // the bucket boundaries.
+        for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            let _ = writeln!(out, "{m}{{quantile=\"{label}\"}} {}", h.percentile(q));
+        }
     }
     let spans = r.spans.lock();
     if !spans.is_empty() {
@@ -131,6 +137,21 @@ mod tests {
         assert!(text.contains("rtgcn_h_bucket{le=\"64\"} 2"), "{text}");
         assert!(text.contains("rtgcn_h_bucket{le=\"8192\"} 3"), "{text}");
         assert!(text.contains("rtgcn_h_sum 8320"), "{text}");
+    }
+
+    #[test]
+    fn histograms_also_render_summary_quantiles() {
+        let _g = test_scope(Level::Summary);
+        record_ns("q", 64);
+        record_ns("q", 64);
+        record_ns("q", 8_192);
+        let text = render_prometheus();
+        // Rank 2 of 3 lands in the 64ns bucket; the p99 rank is the last
+        // sample. Quantile values are bucket upper bounds, like the JSONL
+        // hist events.
+        assert!(text.contains("rtgcn_q{quantile=\"0.5\"} 64"), "{text}");
+        assert!(text.contains("rtgcn_q{quantile=\"0.95\"} 8192"), "{text}");
+        assert!(text.contains("rtgcn_q{quantile=\"0.99\"} 8192"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! On-disk profiling exporters, gated by `RTGCN_TRACE=<dir>`:
+//!
+//! - **Chrome Trace Event JSON** — `trace-<harness>-<model>.json`, a
+//!   `{"traceEvents": [...]}` object of `B`/`E` duration events (timestamps
+//!   in µs from a process-global monotonic epoch, one `tid` lane per OS
+//!   thread, so the PR 5 worker-pool threads land in separate lanes).
+//!   Loads directly in Perfetto / `chrome://tracing`.
+//! - **Collapsed-stack ("folded") text** — `folded-<harness>-<model>.txt`,
+//!   one `seg;seg;seg <self-µs>` line per span path, the input format of
+//!   `flamegraph.pl` and inferno. Self times come from
+//!   [`crate::spantree`], so a parent that only waits on children gets no
+//!   line of its own.
+//!
+//! Every [`ScopeInner`](crate) carries its own bounded trace buffer and its
+//! own `harness`/`model` labels (captured from the `meta` events the
+//! harness emits), so concurrent [`ModelScope`](crate::ModelScope)s export
+//! to disjoint files. Files are written when a scope finishes
+//! ([`crate::ModelScope::finish`], [`crate::begin_model_run`], or the
+//! [`crate::Telemetry`] guard dropping).
+//!
+//! With `RTGCN_TRACE` unset, recording costs one relaxed atomic load per
+//! span open/close.
+
+use crate::{sanitize_label, spantree, ScopeInner};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+// --------------------------------------------------------------- activation
+
+const STATE_OFF: u8 = 0;
+const STATE_ON: u8 = 1;
+const STATE_UNSET: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNSET);
+static DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Read `RTGCN_TRACE` once and activate the exporters if it names a
+/// directory. Called by [`crate::init_harness`] and lazily by the first
+/// span; [`set_trace_dir`] overrides either way.
+pub fn init_from_env() -> bool {
+    match std::env::var("RTGCN_TRACE") {
+        Ok(d) if !d.trim().is_empty() => {
+            set_trace_dir(Some(PathBuf::from(d.trim())));
+            true
+        }
+        _ => {
+            set_trace_dir(None);
+            false
+        }
+    }
+}
+
+/// Programmatically set (or clear) the trace output directory. Tests use
+/// this instead of the env var; hold [`crate::test_lock`] around it.
+pub fn set_trace_dir(dir: Option<PathBuf>) {
+    let mut d = DIR.lock();
+    STATE.store(if dir.is_some() { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    *d = dir;
+}
+
+/// Fast check: is trace recording active?
+#[inline]
+pub(crate) fn active() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+fn trace_dir() -> Option<PathBuf> {
+    DIR.lock().clone()
+}
+
+// --------------------------------------------------------------- recording
+
+/// Process-global monotonic epoch all trace timestamps are relative to.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's trace lane id (0 = not yet assigned).
+    static LANE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Stable per-OS-thread lane id (Chrome `tid`), assigned on first use.
+pub(crate) fn thread_lane() -> u64 {
+    LANE.try_with(|c| {
+        let v = c.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+            v
+        }
+    })
+    .unwrap_or(0)
+}
+
+#[derive(Clone)]
+pub(crate) struct TraceEvent {
+    /// `b'B'` (begin) or `b'E'` (end).
+    pub ph: u8,
+    pub ts_ns: u64,
+    pub tid: u64,
+    pub path: String,
+}
+
+/// Per-scope bounded event buffer.
+#[derive(Default)]
+pub(crate) struct TraceBuf {
+    pub events: Vec<TraceEvent>,
+    pub dropped: u64,
+}
+
+/// Hard cap per scope: a 3-epoch profiled run emits O(10^5) span events;
+/// the cap only exists to bound a runaway debug-level loop.
+const MAX_EVENTS_PER_SCOPE: usize = 2_000_000;
+
+fn record(ph: u8, path: &str) {
+    if !active() {
+        return;
+    }
+    let ts_ns = epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let tid = thread_lane();
+    crate::with_scope_inner(|scope| {
+        let mut buf = scope.trace.lock();
+        if buf.events.len() >= MAX_EVENTS_PER_SCOPE {
+            buf.dropped += 1;
+        } else {
+            buf.events.push(TraceEvent { ph, ts_ns, tid, path: path.to_string() });
+        }
+    });
+}
+
+/// Record a span-begin event under the current scope.
+#[inline]
+pub(crate) fn record_begin(path: &str) {
+    record(b'B', path);
+}
+
+/// Record a span-end event under the current scope. Runs from
+/// `SpanGuard::drop`, including during unwind, so panicking jobs still
+/// close their `B` events.
+#[inline]
+pub(crate) fn record_end(path: &str) {
+    record(b'E', path);
+}
+
+// --------------------------------------------------------------- exporters
+
+fn file_base(harness: &str, model: &str) -> String {
+    let h = if harness.is_empty() { "run".to_string() } else { sanitize_label(harness) };
+    if model.is_empty() {
+        h
+    } else {
+        format!("{h}-{}", sanitize_label(model))
+    }
+}
+
+/// JSON-escape a string via the vendored serde_json (returns the quoted
+/// form, e.g. `"fit/epoch"`).
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).unwrap_or_else(|_| "\"\"".to_string())
+}
+
+/// Render a trace buffer as a Chrome Trace Event JSON object.
+pub(crate) fn render_chrome(buf: &TraceBuf) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push_str(&s);
+        out.push('\n');
+        *first = false;
+    };
+    // One metadata event names each lane so Perfetto shows readable rows.
+    let mut tids: Vec<u64> = buf.events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"thread-{tid}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+    for e in &buf.events {
+        let leaf = e.path.rsplit('/').next().unwrap_or(&e.path);
+        push(
+            format!(
+                "{{\"name\":{},\"cat\":\"span\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\
+                 \"tid\":{},\"args\":{{\"path\":{}}}}}",
+                json_str(leaf),
+                e.ph as char,
+                e.ts_ns / 1_000,
+                e.tid,
+                json_str(&e.path),
+            ),
+            &mut first,
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Render span aggregates in the collapsed-stack format: one
+/// `seg;seg;seg <self-µs>` line per path with non-zero self time, sorted by
+/// path. `flamegraph.pl` / inferno consume this unmodified.
+pub fn render_folded(aggs: &[spantree::SpanAgg]) -> String {
+    let mut out = String::new();
+    for a in aggs {
+        let us = a.self_ns / 1_000;
+        if us == 0 {
+            continue;
+        }
+        out.push_str(&a.path.replace('/', ";"));
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse collapsed-stack text back into `(slash-path, self-µs)` rows —
+/// the inverse of [`render_folded`] (used by the round-trip tests and any
+/// downstream tool that wants to re-aggregate a folded file). Lines that do
+/// not end in a whitespace-separated integer are skipped.
+pub fn parse_folded(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter_map(|line| {
+            let (stack, value) = line.rsplit_once(' ')?;
+            let value: u64 = value.trim().parse().ok()?;
+            if stack.is_empty() {
+                return None;
+            }
+            Some((stack.replace(';', "/"), value))
+        })
+        .collect()
+}
+
+/// Write this scope's trace buffer and folded self-time profile to the
+/// trace directory, if tracing is active. Consumes (and clears) the
+/// scope's buffer; no-op when nothing was recorded.
+pub(crate) fn write_exports_for(scope: &ScopeInner) {
+    if !active() {
+        return;
+    }
+    let Some(dir) = trace_dir() else { return };
+    let buf = std::mem::take(&mut *scope.trace.lock());
+    let rows: Vec<(String, u64, u64, u64, u64)> = {
+        let spans = scope.registry.spans.lock();
+        spans
+            .iter()
+            .map(|(p, st)| (p.clone(), st.count, st.total_ns, st.alloc_bytes, st.freed_bytes))
+            .collect()
+    };
+    if buf.events.is_empty() && rows.is_empty() {
+        return;
+    }
+    let (harness, model) = {
+        let l = scope.labels.lock();
+        (l.0.clone(), l.1.clone())
+    };
+    let base = file_base(&harness, &model);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[rtgcn-telemetry] cannot create trace dir {}: {e}", dir.display());
+        return;
+    }
+    if buf.dropped > 0 && crate::enabled(crate::Level::Summary) {
+        eprintln!(
+            "[rtgcn-telemetry] trace buffer for {base} overflowed: {} event(s) dropped",
+            buf.dropped
+        );
+    }
+    let trace_path = dir.join(format!("trace-{base}.json"));
+    match std::fs::File::create(&trace_path) {
+        Ok(f) => {
+            let mut w = BufWriter::new(f);
+            let _ = w.write_all(render_chrome(&buf).as_bytes());
+            let _ = w.flush();
+        }
+        Err(e) => eprintln!("[rtgcn-telemetry] cannot write {}: {e}", trace_path.display()),
+    }
+    let aggs = spantree::aggregate(rows);
+    let folded = render_folded(&aggs);
+    if !folded.is_empty() {
+        let folded_path = dir.join(format!("folded-{base}.txt"));
+        if let Err(e) = std::fs::write(&folded_path, folded) {
+            eprintln!("[rtgcn-telemetry] cannot write {}: {e}", folded_path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(path: &str, self_ns: u64) -> spantree::SpanAgg {
+        spantree::SpanAgg {
+            path: path.to_string(),
+            count: 1,
+            total_ns: self_ns,
+            self_ns,
+            alloc_bytes: 0,
+            freed_bytes: 0,
+            self_alloc_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn folded_lines_use_semicolons_and_microseconds() {
+        let text = render_folded(&[agg("fit/epoch/loss", 2_500_000), agg("fit", 999)]);
+        // 999ns rounds down to 0µs and is skipped; 2.5ms → 2500µs.
+        assert_eq!(text, "fit;epoch;loss 2500\n");
+    }
+
+    #[test]
+    fn parse_folded_inverts_render() {
+        let rows = parse_folded("a;b 10\nc 7\nmalformed\nalso bad x\n");
+        assert_eq!(rows, vec![("a/b".to_string(), 10), ("c".to_string(), 7)]);
+    }
+
+    #[test]
+    fn chrome_render_is_valid_json_with_matched_pairs() {
+        let buf = TraceBuf {
+            events: vec![
+                TraceEvent { ph: b'B', ts_ns: 1_000, tid: 1, path: "fit".into() },
+                TraceEvent { ph: b'B', ts_ns: 2_000, tid: 1, path: "fit/epoch".into() },
+                TraceEvent { ph: b'E', ts_ns: 3_000, tid: 1, path: "fit/epoch".into() },
+                TraceEvent { ph: b'E', ts_ns: 4_000, tid: 1, path: "fit".into() },
+            ],
+            dropped: 0,
+        };
+        let text = render_chrome(&buf);
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let obj = v.as_map().expect("expected object");
+        let events = obj
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_seq())
+            .expect("expected traceEvents array");
+        // 1 thread_name metadata event + 4 span events.
+        assert_eq!(events.len(), 5);
+    }
+
+    #[test]
+    fn file_base_handles_missing_labels() {
+        assert_eq!(file_base("", ""), "run");
+        assert_eq!(file_base("table4_baselines", ""), "table4_baselines");
+        assert_eq!(file_base("table4_baselines", "RT-GCN (T)"), "table4_baselines-rt-gcn-t");
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end tests for the `RTGCN_TRACE` exporters: Chrome-trace JSON
+//! validity (parse with the vendored serde_json, matched B/E pairs,
+//! monotone per-lane timestamps), folded-stack round-trips, per-model file
+//! isolation under concurrency, and span accounting across panics.
+//!
+//! Everything here mutates process-global telemetry state (level, trace
+//! dir, root registry), so each test holds `test_scope` for its full
+//! duration and clears the trace dir before releasing it.
+
+use proptest::prelude::*;
+use rtgcn_telemetry as tel;
+use std::path::PathBuf;
+
+fn fresh_trace_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtgcn-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Parsed view of one Chrome trace event (only the fields the tests check).
+struct Ev {
+    ph: String,
+    ts: u64,
+    tid: u64,
+    path: String,
+}
+
+fn read_trace_events(path: &std::path::Path) -> Vec<Ev> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let v: serde_json::Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{} is not valid JSON: {e:?}", path.display()));
+    let obj = v.as_map().expect("top level must be an object");
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_seq())
+        .expect("traceEvents array");
+    let field = |m: &[(String, serde_json::Value)], k: &str| -> serde_json::Value {
+        m.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()).unwrap_or(serde_json::Value::Null)
+    };
+    events
+        .iter()
+        .filter_map(|e| {
+            let m = e.as_map()?;
+            let ph = field(m, "ph").as_str()?.to_string();
+            if ph == "M" {
+                return None; // metadata (thread names)
+            }
+            let ts = field(m, "ts").as_f64()? as u64;
+            let tid = field(m, "tid").as_f64()? as u64;
+            let args = field(m, "args");
+            let path = args
+                .as_map()
+                .and_then(|a| {
+                    a.iter().find(|(k, _)| k == "path").and_then(|(_, v)| v.as_str().map(String::from))
+                })
+                .unwrap_or_default();
+            Some(Ev { ph, ts, tid, path })
+        })
+        .collect()
+}
+
+#[test]
+fn chrome_trace_is_valid_with_matched_pairs_and_monotone_timestamps() {
+    let _g = tel::test_scope(tel::Level::Summary);
+    let dir = fresh_trace_dir("valid");
+    tel::trace::set_trace_dir(Some(dir.clone()));
+
+    let scope = tel::ModelScope::new();
+    scope.emit(&tel::Event::meta("harness", "traceh"));
+    scope.emit(&tel::Event::meta("model", "ModelA"));
+    {
+        let _e = scope.enter();
+        let _fit = tel::span("fit");
+        for _ in 0..3 {
+            let _epoch = tel::span("epoch");
+            let _loss = tel::span("loss");
+        }
+    }
+    scope.finish();
+    tel::trace::set_trace_dir(None);
+
+    let trace_path = dir.join("trace-traceh-modela.json");
+    let events = read_trace_events(&trace_path);
+    // 1 fit + 3 epoch + 3 loss spans, one B and one E each.
+    assert_eq!(events.len(), 14, "expected 7 B/E pairs");
+    // Matched pairs per path, and E never before B (stack discipline).
+    use std::collections::BTreeMap;
+    let mut open: BTreeMap<&str, i64> = BTreeMap::new();
+    for e in &events {
+        let delta = if e.ph == "B" { 1 } else { -1 };
+        let c = open.entry(e.path.as_str()).or_insert(0);
+        *c += delta;
+        assert!(*c >= 0, "E before B for {}", e.path);
+    }
+    assert!(open.values().all(|&c| c == 0), "unmatched B events: {open:?}");
+    // Timestamps are non-decreasing within each thread lane.
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &events {
+        let prev = last_ts.insert(e.tid, e.ts).unwrap_or(0);
+        assert!(e.ts >= prev, "ts went backwards in lane {}", e.tid);
+    }
+    // The folded profile exists and parses back to slash paths.
+    let folded = std::fs::read_to_string(dir.join("folded-traceh-modela.txt")).unwrap();
+    for (path, _us) in tel::trace::parse_folded(&folded) {
+        assert!(
+            ["fit", "fit/epoch", "fit/epoch/loss"].contains(&path.as_str()),
+            "unexpected folded path {path}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_model_scopes_export_unmixed_trace_files() {
+    let _g = tel::test_scope(tel::Level::Summary);
+    let dir = fresh_trace_dir("twomodel");
+    tel::trace::set_trace_dir(Some(dir.clone()));
+
+    let mk = |model: &str| {
+        let s = tel::ModelScope::new();
+        s.emit(&tel::Event::meta("harness", "twoh"));
+        s.emit(&tel::Event::meta("model", model));
+        s
+    };
+    let (sa, sb) = (mk("alpha"), mk("beta"));
+    let spawn = |scope: tel::ModelScope, name: &'static str| {
+        std::thread::spawn(move || {
+            let _e = scope.enter();
+            for _ in 0..50 {
+                let _s = tel::span(name);
+            }
+        })
+    };
+    let (ta, tb) = (spawn(sa.clone(), "alpha_work"), spawn(sb.clone(), "beta_work"));
+    ta.join().unwrap();
+    tb.join().unwrap();
+    sa.finish();
+    sb.finish();
+    tel::trace::set_trace_dir(None);
+
+    let read = |m: &str| std::fs::read_to_string(dir.join(format!("trace-twoh-{m}.json"))).unwrap();
+    let (a, b) = (read("alpha"), read("beta"));
+    assert!(a.contains("alpha_work") && !a.contains("beta_work"), "alpha trace mixed");
+    assert!(b.contains("beta_work") && !b.contains("alpha_work"), "beta trace mixed");
+    let folded_a = std::fs::read_to_string(dir.join("folded-twoh-alpha.txt")).unwrap();
+    assert!(folded_a.starts_with("alpha_work "), "folded mixed: {folded_a}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_job_still_records_spans_and_leaves_the_stack_clean() {
+    let _g = tel::test_scope(tel::Level::Summary);
+    let dir = fresh_trace_dir("panic");
+    tel::trace::set_trace_dir(Some(dir.clone()));
+
+    let scope = tel::ModelScope::new();
+    scope.emit(&tel::Event::meta("harness", "panich"));
+    scope.emit(&tel::Event::meta("model", "probe"));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _e = scope.enter();
+        let _job = tel::span("job");
+        let _step = tel::span("step");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        panic!("probe panic");
+    }));
+    assert!(result.is_err());
+
+    {
+        let _e = scope.enter();
+        // Both spans recorded their elapsed time despite the unwind.
+        let aggs = tel::spantree::snapshot_current();
+        let paths: Vec<&str> = aggs.iter().map(|a| a.path.as_str()).collect();
+        assert_eq!(paths, ["job", "job/step"], "spans lost in unwind");
+        let job = &aggs[0];
+        assert_eq!(job.count, 1);
+        assert!(job.total_ns >= 2_000_000, "elapsed time not recorded");
+        // The thread-local span stack is clean: a new span opens at the root
+        // (a stale frame would produce "job/after").
+        drop(tel::span("after"));
+        let aggs = tel::spantree::snapshot_current();
+        assert!(aggs.iter().any(|a| a.path == "after"), "stack corrupted: {aggs:?}");
+    }
+    scope.finish();
+    tel::trace::set_trace_dir(None);
+
+    // The trace closed both B events even though the drops ran during unwind.
+    let events = read_trace_events(&dir.join("trace-panich-probe.json"));
+    let b = events.iter().filter(|e| e.ph == "B").count();
+    let e = events.iter().filter(|e| e.ph == "E").count();
+    assert_eq!(b, e, "unmatched B/E after panic");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Folded-stack strategy: up to 16 stacks of 1..5 known segments with a
+/// self-time value each (µs). Paths may repeat — `render_folded` emits one
+/// line per row and `parse_folded` preserves line order, so the round trip
+/// is exact on the µs-positive subset.
+fn folded_rows() -> impl Strategy<Value = Vec<(Vec<u32>, u64)>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0u32..8, 1..5), 0u64..10_000),
+        1..16,
+    )
+}
+
+const SEGS: [&str; 8] =
+    ["fit", "epoch", "loss", "backward", "optim", "relational", "temporal", "spmm_csr"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn folded_render_parse_round_trip(rows in folded_rows()) {
+        let aggs: Vec<tel::spantree::SpanAgg> = rows
+            .iter()
+            .map(|(segs, us)| {
+                let path: Vec<&str> = segs.iter().map(|&i| SEGS[i as usize]).collect();
+                tel::spantree::SpanAgg {
+                    path: path.join("/"),
+                    count: 1,
+                    total_ns: us * 1_000,
+                    self_ns: us * 1_000,
+                    alloc_bytes: 0,
+                    freed_bytes: 0,
+                    self_alloc_bytes: 0,
+                }
+            })
+            .collect();
+        let text = tel::trace::render_folded(&aggs);
+        let parsed = tel::trace::parse_folded(&text);
+        let expected: Vec<(String, u64)> = aggs
+            .iter()
+            .filter(|a| a.self_ns / 1_000 > 0)
+            .map(|a| (a.path.clone(), a.self_ns / 1_000))
+            .collect();
+        prop_assert_eq!(parsed, expected);
+    }
+}

@@ -53,7 +53,7 @@ impl Tape {
     pub fn conv1d_causal(&mut self, x: Var, w: Var, bias: Var, spec: ConvSpec) -> Var {
         static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
         crate::telemetry_hooks::kernel_counter(&CALLS, "tensor.conv1d_causal.calls").inc(1);
-        let _t = rtgcn_telemetry::debug_span("tensor.conv1d_causal");
+        let _t = rtgcn_telemetry::span("conv1d_causal");
         let xv = self.value(x);
         let wv = self.value(w);
         let bv = self.value(bias);

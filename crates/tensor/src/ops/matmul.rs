@@ -13,7 +13,7 @@ impl Tape {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
         kernel_counter(&CALLS, "tensor.matmul.calls").inc(1);
-        let _t = rtgcn_telemetry::debug_span("tensor.matmul");
+        let _t = rtgcn_telemetry::span("matmul");
         let out = linalg::matmul(self.value(a), self.value(b));
         self.push_op_named("matmul", out, vec![a, b], |ctx| {
             let ga = linalg::matmul_nt(ctx.grad, ctx.parents[1]);
@@ -27,7 +27,7 @@ impl Tape {
     pub fn linear(&mut self, x: Var, w: Var, bias: Var) -> Var {
         static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
         kernel_counter(&CALLS, "tensor.linear.calls").inc(1);
-        let _t = rtgcn_telemetry::debug_span("tensor.linear");
+        let _t = rtgcn_telemetry::span("linear");
         let xv = self.value(x);
         let wv = self.value(w);
         let bv = self.value(bias);

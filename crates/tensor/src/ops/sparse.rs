@@ -221,7 +221,10 @@ impl Tape {
     pub fn spmm(&mut self, edges: &Edges, weights: Var, x: Var) -> Var {
         static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
         crate::telemetry_hooks::kernel_counter(&CALLS, "tensor.spmm.calls").inc(1);
-        let _t = rtgcn_telemetry::debug_span("tensor.spmm");
+        // Summary-level with a short stable leaf name: hot kernels must land
+        // under stable span paths (`…/relational/spmm`) so profiles and the
+        // span-level regression attribution can name them.
+        let _t = rtgcn_telemetry::span("spmm");
         let wv = self.value(weights);
         let xv = self.value(x);
         assert_eq!(wv.numel(), edges.len(), "one weight per edge required");
@@ -383,7 +386,13 @@ impl Tape {
     pub fn spmm_csr(&mut self, csr: &CsrEdges, weights: Var, x: Var) -> Var {
         static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
         crate::telemetry_hooks::kernel_counter(&CALLS, "tensor.spmm_csr.calls").inc(1);
-        let _t = rtgcn_telemetry::debug_span("tensor.spmm_csr");
+        let _t = rtgcn_telemetry::span("spmm_csr");
+        // Seeded slowdown for the perf gate: proves a kernel regression is
+        // both caught by the threshold diff and attributed to this span.
+        let canary = rtgcn_telemetry::perf_canary_ns();
+        if canary > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(canary));
+        }
         let wv = self.value(weights);
         let xv = self.value(x);
         assert_eq!(wv.numel(), csr.len(), "one weight per edge required");
@@ -415,7 +424,7 @@ impl Tape {
     pub fn spmm_batched(&mut self, csr: &CsrEdges, weights: Var, x: Var) -> Var {
         static CALLS: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
         crate::telemetry_hooks::kernel_counter(&CALLS, "tensor.spmm_batched.calls").inc(1);
-        let _t = rtgcn_telemetry::debug_span("tensor.spmm_batched");
+        let _t = rtgcn_telemetry::span("spmm_batched");
         let wv = self.value(weights);
         let xv = self.value(x);
         assert_eq!(xv.rank(), 3, "spmm_batched features must be (P, N, F)");

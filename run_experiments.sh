@@ -3,7 +3,7 @@
 # paper-style table to its log and writes a JSON artifact into results/;
 # telemetry JSONL streams land next to the .txt captures (see --logs).
 #
-# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint]
+# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile]
 #   --logs DIR        directory for harness stdout captures and telemetry
 #                     JSONL (default results/logs; forwarded to every
 #                     harness binary)
@@ -23,6 +23,12 @@
 #                     diff against the committed results/BENCH_table4.json
 #                     with a 1.25x ratio threshold; exits non-zero on any
 #                     >25% regression
+#   --profile         profiling pass (skips the full queue): build, run a
+#                     1-seed csi table4 pass with RTGCN_TRACE and
+#                     RTGCN_ALLOC_STATS=1, write the per-model Chrome-trace
+#                     JSON and collapsed-stack files under
+#                     results/logs/profile/, and fold the run into
+#                     results/PROFILE_table4.md (top-20 spans by self time)
 #   --resume          resume smoke check (skips the full queue): start a
 #                     parallel table4 run, kill it after the first job lands
 #                     in the jobs-*.jsonl journal, rerun to completion, and
@@ -42,6 +48,7 @@ SNAPSHOT=0
 VERIFY=0
 RESUME=0
 LINT=0
+PROFILE=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --logs)
@@ -55,8 +62,10 @@ while [ $# -gt 0 ]; do
       RESUME=1; shift ;;
     --lint)
       LINT=1; shift ;;
+    --profile)
+      PROFILE=1; shift ;;
     *)
-      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint])" >&2; exit 2 ;;
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile])" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$R"
@@ -71,6 +80,27 @@ if [ "$LINT" = 1 ]; then
   cargo clippy --workspace -- -D warnings
   $B/rtgcn-lint --deny --json results/LINT.json
   echo LINT_OK
+  exit 0
+fi
+
+if [ "$PROFILE" = 1 ]; then
+  # Profiling pass: one cheap serial table4 run with the exporters and the
+  # tracking allocator on. Keeps the scale small (1 seed, 2 epochs) — the
+  # trace buffer grows with span count, and the self-time ranking is about
+  # shape, not absolute numbers.
+  cargo build --release --workspace
+  P="$R/profile"
+  rm -rf "$P"
+  mkdir -p "$P"
+  RTGCN_JOBS=1 RTGCN_TRACE="$P" RTGCN_ALLOC_STATS=1 \
+    $B/table4_baselines --logs "$P" --markets csi --seeds 1 --epochs 2 > "$P/table4_csi.txt" 2>&1
+  # Every model must have produced a loadable trace and a folded stack.
+  ls "$P"/trace-table4_baselines-*.json > /dev/null
+  ls "$P"/folded-table4_baselines-*.txt > /dev/null
+  $B/rtgcn-report --logs "$P" --harness table4_baselines \
+    --out "$P/BENCH_table4.profile.json" --md "$P/BENCH_table4.profile.md" \
+    --profile-md results/PROFILE_table4.md --top 20
+  echo "PROFILE_OK (traces under $P, table in results/PROFILE_table4.md)"
   exit 0
 fi
 
@@ -120,8 +150,10 @@ if [ "$VERIFY" = 1 ]; then
     RTGCN_JOBS=1 $B/table4_baselines --logs "$V" --markets csi --seeds 1 --epochs 2 > "$V/table4_csi.txt" 2>&1
     $B/rtgcn-report --logs "$V" --harness table4_baselines \
       --out results/BENCH_table4.verify.json --md "$V/BENCH_table4.verify.md"
-    if $B/rtgcn-report --baseline results/BENCH_table4.json \
-        results/BENCH_table4.verify.json --threshold 1.25; then
+    # --verify-perf defaults NEW_JSON to the snapshot written just above and
+    # the threshold to 1.25; on failure it names the top regressing span
+    # paths by self time.
+    if $B/rtgcn-report --baseline results/BENCH_table4.json --verify-perf; then
       break
     fi
     [ "$attempt" -ge 2 ] && { echo "VERIFY_PERF_REGRESSION (reproduced on re-measure)" >&2; exit 3; }
