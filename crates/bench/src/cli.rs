@@ -155,6 +155,9 @@ impl HarnessArgs {
             Err(e) => harness_error(harness, &e),
         };
         let logs = args.logs_dir();
+        // The monitor server (RTGCN_MONITOR) starts inside init_harness;
+        // the /runs route must be on the table before that.
+        crate::monitor::install_runs_route();
         let guard = rtgcn_telemetry::init_harness(harness, &logs);
         let _ = HARNESS_CTX.set((harness.to_string(), logs));
         (args, guard)

@@ -127,6 +127,8 @@ impl Journal {
                     "journal.write_failed",
                     &format!("{}/{} seed {}: serialize: {e}", rec.context, rec.model, rec.seed),
                 );
+                // lint:allow(telemetry-span-discipline) scrapeable failure counter (monitor /metrics), deliberately root-scoped
+                rtgcn_telemetry::count_always("journal.write_failed", 1);
                 return;
             }
         };
@@ -138,6 +140,8 @@ impl Journal {
                     rec.context, rec.model, rec.seed
                 ),
             );
+            // lint:allow(telemetry-span-discipline) scrapeable failure counter (monitor /metrics), deliberately root-scoped
+            rtgcn_telemetry::count_always("journal.write_failed", 1);
         }
     }
 }
@@ -223,6 +227,12 @@ mod tests {
         assert!(
             lines.iter().any(|l| l.contains("journal.write_failed") && l.contains("seed 7")),
             "a dropped record must emit journal.write_failed naming the record, got {lines:?}"
+        );
+        // The failure is also a counter, so a live /metrics scrape sees it.
+        assert_eq!(rtgcn_telemetry::counter_value("journal.write_failed"), 1);
+        assert!(
+            rtgcn_telemetry::render_prometheus().contains("rtgcn_journal_write_failed_total 1"),
+            "journal.write_failed must be scrapeable"
         );
     }
 

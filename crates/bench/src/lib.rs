@@ -14,6 +14,7 @@
 pub mod cli;
 pub mod journal;
 pub mod models;
+pub mod monitor;
 pub mod runner;
 pub mod snapshot;
 

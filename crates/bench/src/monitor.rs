@@ -1,0 +1,235 @@
+//! Live run-status board behind the monitor's `GET /runs` endpoint.
+//!
+//! The parallel runner ([`crate::runner::evaluate_roster`]) publishes every
+//! (model, seed) job's lifecycle here — `queued` → `running` →
+//! `ok`/`failed`, or `resumed` straight from the journal — and the
+//! `rtgcn-monitor` HTTP server (started when `RTGCN_MONITOR` is set; see
+//! `rtgcn_telemetry::http`) serves the board as JSON. The board is
+//! process-global and keyed by `(context, model, seed)`, so back-to-back
+//! rosters in one harness (different experiment contexts) coexist, while a
+//! re-run of the same context replaces its stale rows.
+//!
+//! Publishing is a handful of mutex-guarded `Vec` updates per job
+//! transition — nothing here touches the results path, so monitored and
+//! unmonitored runs produce bit-identical `ModelRow`s (asserted by
+//! `tests/monitor.rs`).
+
+use parking_lot::Mutex;
+use serde::Value;
+use std::time::Instant;
+
+/// Lifecycle of one (model, seed) pool job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Created, not yet picked up by a worker.
+    Queued,
+    /// A worker thread is executing an attempt right now.
+    Running,
+    /// Settled successfully.
+    Ok,
+    /// Settled after exhausting retries (or timed out on every attempt).
+    Failed,
+    /// Skipped: a completed result was resumed from the job journal.
+    Resumed,
+}
+
+impl JobState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Ok => "ok",
+            JobState::Failed => "failed",
+            JobState::Resumed => "resumed",
+        }
+    }
+}
+
+/// One board row. `attempts` counts started attempts (so a job being
+/// retried shows `running` with `attempts > 1`).
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    pub context: String,
+    pub model: String,
+    pub seed: u64,
+    pub state: JobState,
+    pub attempts: u64,
+    /// First-attempt start; `None` until a worker picks the job up.
+    started: Option<Instant>,
+    /// Frozen run duration once settled.
+    settled_elapsed_ms: Option<u64>,
+}
+
+impl JobStatus {
+    /// Milliseconds the job has been (or was) running; 0 while queued.
+    pub fn elapsed_ms(&self) -> u64 {
+        match (self.settled_elapsed_ms, self.started) {
+            (Some(ms), _) => ms,
+            // lint:allow(nan-discipline) integer saturation clamp on u128 millis, no floats involved
+            (None, Some(t0)) => t0.elapsed().as_millis().min(u64::MAX as u128) as u64,
+            (None, None) => 0,
+        }
+    }
+}
+
+static BOARD: Mutex<Vec<JobStatus>> = Mutex::new(Vec::new());
+
+/// Open a roster on the board: drop any previous rows for `context`, then
+/// add one row per job — `resumed` for journal-recovered results, `queued`
+/// for everything about to enter the pool.
+pub fn board_open(context: &str, queued: &[(String, u64)], resumed: &[(String, u64)]) {
+    let mut board = BOARD.lock();
+    board.retain(|j| j.context != context);
+    let blank = |model: &String, seed: u64, state: JobState| JobStatus {
+        context: context.to_string(),
+        model: model.clone(),
+        seed,
+        state,
+        attempts: 0,
+        started: None,
+        settled_elapsed_ms: None,
+    };
+    for (model, seed) in resumed {
+        board.push(blank(model, *seed, JobState::Resumed));
+    }
+    for (model, seed) in queued {
+        board.push(blank(model, *seed, JobState::Queued));
+    }
+}
+
+fn update(context: &str, model: &str, seed: u64, f: impl FnOnce(&mut JobStatus)) {
+    let mut board = BOARD.lock();
+    if let Some(job) = board
+        .iter_mut()
+        .find(|j| j.context == context && j.model == model && j.seed == seed)
+    {
+        f(job);
+    }
+}
+
+/// A worker picked the job up (fires once per attempt; `attempt` is
+/// 1-based).
+pub fn board_running(context: &str, model: &str, seed: u64, attempt: u64) {
+    let now = Instant::now();
+    update(context, model, seed, |j| {
+        j.state = JobState::Running;
+        j.attempts = attempt;
+        if j.started.is_none() {
+            j.started = Some(now);
+        }
+    });
+}
+
+/// The job reached its final state.
+pub fn board_settled(context: &str, model: &str, seed: u64, ok: bool, attempts: u64) {
+    update(context, model, seed, |j| {
+        j.state = if ok { JobState::Ok } else { JobState::Failed };
+        j.attempts = attempts;
+        j.settled_elapsed_ms = Some(j.started.map(
+            // lint:allow(nan-discipline) integer saturation clamp on u128 millis, no floats involved
+            |t0| t0.elapsed().as_millis().min(u64::MAX as u128) as u64,
+        ).unwrap_or(0));
+    });
+}
+
+/// Current board rows (tests and the JSON view).
+pub fn board_snapshot() -> Vec<JobStatus> {
+    BOARD.lock().clone()
+}
+
+/// Clear the whole board (tests).
+pub fn board_clear() {
+    BOARD.lock().clear();
+}
+
+/// The `GET /runs` body: every row plus per-state counts.
+pub fn runs_json() -> Value {
+    let board = board_snapshot();
+    let mut counts = [0u64; 5];
+    let jobs: Vec<Value> = board
+        .iter()
+        .map(|j| {
+            let idx = match j.state {
+                JobState::Queued => 0,
+                JobState::Running => 1,
+                JobState::Ok => 2,
+                JobState::Failed => 3,
+                JobState::Resumed => 4,
+            };
+            counts[idx] += 1;
+            Value::Map(vec![
+                ("context".to_string(), Value::Str(j.context.clone())),
+                ("model".to_string(), Value::Str(j.model.clone())),
+                ("seed".to_string(), Value::U64(j.seed)),
+                ("state".to_string(), Value::Str(j.state.as_str().to_string())),
+                ("attempts".to_string(), Value::U64(j.attempts)),
+                ("elapsed_ms".to_string(), Value::U64(j.elapsed_ms())),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        ("jobs".to_string(), Value::Seq(jobs)),
+        (
+            "counts".to_string(),
+            Value::Map(vec![
+                ("queued".to_string(), Value::U64(counts[0])),
+                ("running".to_string(), Value::U64(counts[1])),
+                ("ok".to_string(), Value::U64(counts[2])),
+                ("failed".to_string(), Value::U64(counts[3])),
+                ("resumed".to_string(), Value::U64(counts[4])),
+            ]),
+        ),
+    ])
+}
+
+/// Plug `/runs` into the monitor's route table. Idempotent; called from
+/// [`crate::HarnessArgs::init`] before the server starts, and directly by
+/// tests that start a [`rtgcn_telemetry::http::Server`] by hand.
+pub fn install_runs_route() {
+    rtgcn_telemetry::http::register_route("/runs", || {
+        rtgcn_telemetry::http::Response::json(200, &runs_json())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_tracks_full_lifecycle() {
+        let _g = rtgcn_telemetry::test_lock();
+        board_clear();
+        let q = vec![("M".to_string(), 1), ("M".to_string(), 2)];
+        let r = vec![("M".to_string(), 3)];
+        board_open("ctx", &q, &r);
+        board_running("ctx", "M", 1, 1);
+        board_settled("ctx", "M", 1, true, 1);
+        board_running("ctx", "M", 2, 1);
+        board_running("ctx", "M", 2, 2); // retry
+        board_settled("ctx", "M", 2, false, 2);
+        let snap = board_snapshot();
+        let get = |seed| snap.iter().find(|j| j.seed == seed).unwrap();
+        assert_eq!(get(1).state, JobState::Ok);
+        assert_eq!(get(2).state, JobState::Failed);
+        assert_eq!(get(2).attempts, 2);
+        assert_eq!(get(3).state, JobState::Resumed);
+        let json = serde_json::to_string(&runs_json()).unwrap();
+        assert!(json.contains("\"failed\":1"), "{json}");
+        assert!(json.contains("\"resumed\":1"), "{json}");
+        board_clear();
+    }
+
+    #[test]
+    fn reopening_a_context_replaces_only_its_rows() {
+        let _g = rtgcn_telemetry::test_lock();
+        board_clear();
+        board_open("a", &[("M".to_string(), 1)], &[]);
+        board_open("b", &[("N".to_string(), 1)], &[]);
+        board_open("a", &[("M".to_string(), 9)], &[]);
+        let snap = board_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().any(|j| j.context == "b" && j.model == "N"));
+        assert!(snap.iter().any(|j| j.context == "a" && j.seed == 9));
+        board_clear();
+    }
+}

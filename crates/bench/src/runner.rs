@@ -27,6 +27,7 @@
 //! process-per-job.
 
 use crate::journal::{self, Journal, JournalRecord};
+use crate::monitor;
 use crate::models::Spec;
 use rtgcn_baselines::CommonConfig;
 use rtgcn_core::FitReport;
@@ -206,10 +207,13 @@ fn settle_attempt<T>(
 
 /// Run `tasks` on `workers` detached threads with `catch_unwind` isolation,
 /// an optional per-attempt timeout, and `retries` extra attempts per job.
-/// Returns per-task results in task order. `on_settle(task_idx, result,
-/// attempts)` fires once per task on the orchestrator thread as each task
-/// reaches its final state (in completion order — journal writes must land
-/// the moment a job settles, not when the whole pool drains).
+/// Returns per-task results in task order. `on_start(task_idx, attempt)`
+/// fires on the orchestrator thread just before each attempt's worker
+/// spawns (attempt is 1-based — the live status board uses it to show
+/// `running` with a retry count); `on_settle(task_idx, result, attempts)`
+/// fires once per task as it reaches its final state (in completion order —
+/// journal writes must land the moment a job settles, not when the whole
+/// pool drains).
 ///
 /// Timed-out attempts are abandoned: their threads keep running detached
 /// and their eventual results are dropped (stale attempt ids are ignored),
@@ -219,6 +223,7 @@ pub(crate) fn run_pool<T: Send + 'static>(
     workers: usize,
     timeout: Option<Duration>,
     retries: u32,
+    mut on_start: impl FnMut(usize, u64),
     mut on_settle: impl FnMut(usize, &Result<T, String>, u64),
 ) -> Vec<Result<T, String>> {
     let total = tasks.len();
@@ -245,6 +250,7 @@ pub(crate) fn run_pool<T: Send + 'static>(
         while inflight.len() < workers {
             let Some(job) = state.queue.pop_front() else { break };
             state.attempts[job] += 1;
+            on_start(job, state.attempts[job] as u64);
             let id = next_attempt_id;
             next_attempt_id += 1;
             let work = Arc::clone(&tasks[job].work);
@@ -373,9 +379,13 @@ pub fn evaluate_roster(
         }
     }
     let mut pending: Vec<usize> = Vec::new();
+    let mut resumed_keys: Vec<(String, u64)> = Vec::new();
     for (si, &(mi, seed)) in slots.iter().enumerate() {
         match completed.remove(&(names[mi].clone(), seed)) {
-            Some(run) => results[si] = Some(Ok(run)),
+            Some(run) => {
+                results[si] = Some(Ok(run));
+                resumed_keys.push((names[mi].clone(), seed));
+            }
             None => pending.push(si),
         }
     }
@@ -387,6 +397,17 @@ pub fn evaluate_roster(
             pending.len()
         );
     }
+
+    // Publish the roster to the live status board (the monitor's /runs).
+    // Board updates are off the results path: they must never change rows.
+    let queued_keys: Vec<(String, u64)> = pending
+        .iter()
+        .map(|&si| {
+            let (mi, seed) = slots[si];
+            (names[mi].clone(), seed)
+        })
+        .collect();
+    monitor::board_open(&cfg.context, &queued_keys, &resumed_keys);
 
     // One telemetry scope per model that still has work; models fully
     // resumed from the journal get no scope (and keep their old log files).
@@ -446,9 +467,18 @@ pub fn evaluate_roster(
         }
     });
     let verbose = rtgcn_telemetry::enabled(rtgcn_telemetry::Level::Summary);
-    let pool_results =
-        run_pool(tasks, cfg.jobs, cfg.timeout, cfg.retries, |ti, res, attempts| {
+    let pool_results = run_pool(
+        tasks,
+        cfg.jobs,
+        cfg.timeout,
+        cfg.retries,
+        |ti, attempt| {
             let (mi, seed) = slots[pending[ti]];
+            monitor::board_running(&cfg.context, &names[mi], seed, attempt);
+        },
+        |ti, res, attempts| {
+            let (mi, seed) = slots[pending[ti]];
+            monitor::board_settled(&cfg.context, &names[mi], seed, res.is_ok(), attempts);
             match res {
                 Ok(run) => {
                     rtgcn_telemetry::count("runner.jobs.completed", 1);
@@ -476,7 +506,8 @@ pub fn evaluate_roster(
                     }
                 }
             }
-        });
+        },
+    );
     for (ti, r) in pool_results.into_iter().enumerate() {
         results[pending[ti]] = Some(r);
     }
@@ -767,7 +798,7 @@ mod tests {
             PoolTask { label: "boom".into(), work: Arc::new(|| panic!("injected panic")) },
             mk(3),
         ];
-        let results = run_pool(tasks, 2, None, 0, |_, _, _| {});
+        let results = run_pool(tasks, 2, None, 0, |_, _| {}, |_, _, _| {});
         assert_eq!(results[0].as_ref().unwrap(), &10);
         assert!(results[1].as_ref().unwrap_err().contains("injected panic"));
         assert_eq!(results[2].as_ref().unwrap(), &30);
@@ -787,7 +818,7 @@ mod tests {
         let t0 = Instant::now();
         let mut settled = Vec::new();
         let results =
-            run_pool(tasks, 1, Some(Duration::from_millis(80)), 1, |i, r, attempts| {
+            run_pool(tasks, 1, Some(Duration::from_millis(80)), 1, |_, _| {}, |i, r, attempts| {
                 settled.push((i, r.is_ok(), attempts));
             });
         assert!(results[0].as_ref().unwrap_err().contains("timed out"));
@@ -812,7 +843,8 @@ mod tests {
             }),
         }];
         let mut final_attempts = 0;
-        let results = run_pool(tasks, 1, None, 1, |_, _, attempts| final_attempts = attempts);
+        let results =
+            run_pool(tasks, 1, None, 1, |_, _| {}, |_, _, attempts| final_attempts = attempts);
         assert_eq!(results[0].as_ref().unwrap(), &42);
         assert_eq!(final_attempts, 2);
     }
@@ -829,7 +861,7 @@ mod tests {
                 }),
             })
             .collect();
-        let results = run_pool(tasks, 8, None, 0, |_, _, _| {});
+        let results = run_pool(tasks, 8, None, 0, |_, _| {}, |_, _, _| {});
         let got: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(got, (0..16).collect::<Vec<_>>());
     }

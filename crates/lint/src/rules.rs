@@ -677,7 +677,7 @@ fn rule_telemetry_span(ctx: &FileCtx, findings: &mut Vec<Finding>) {
                 let is_free_call = t.kind == TokKind::Ident
                     && matches!(
                         t.text.as_str(),
-                        "record_ns" | "gauge" | "span" | "debug_span" | "count"
+                        "record_ns" | "gauge" | "span" | "debug_span" | "count" | "count_always"
                     )
                     // Call position only — and not a dotted method like the
                     // iterator's `.count()`, which is unrelated to telemetry.

@@ -1,0 +1,20 @@
+//! Bakes the short git hash into the binary as `RTGCN_GIT_HASH`, so the
+//! `rtgcn_build_info` metric identifies which build produced a scrape.
+//! Builds outside a git checkout (or without git) fall back to "unknown".
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=RTGCN_GIT_HASH={hash}");
+    // Re-stamp when HEAD moves; harmless no-op outside a checkout.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -24,7 +24,9 @@
 //! ```
 
 use crate::{emit, gauge, warn, Event};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Distilled training health, worst-seen-so-far across epochs.
 #[derive(
@@ -56,6 +58,41 @@ impl std::fmt::Display for HealthVerdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.as_str())
     }
+}
+
+// ---------------------------------------------------------------- board
+
+/// Process-wide sticky health board: worst verdict seen per model name,
+/// across every [`HealthMonitor`] in the process (all scopes, all seeds of
+/// a model merge into one row). The monitor server's `/healthz` endpoint
+/// reads this — a live 503 the moment any in-flight fit diverges, instead
+/// of a post-hoc surprise in the final table.
+static BOARD: Mutex<BTreeMap<String, HealthVerdict>> = Mutex::new(BTreeMap::new());
+
+/// Record (sticky-max) a model's verdict on the process-wide board.
+pub fn board_record(model: &str, verdict: HealthVerdict) {
+    let mut b = BOARD.lock();
+    match b.get_mut(model) {
+        Some(cur) => *cur = (*cur).max(verdict),
+        None => {
+            b.insert(model.to_string(), verdict);
+        }
+    }
+}
+
+/// Every model the board has seen, with its worst verdict, sorted by name.
+pub fn board_snapshot() -> Vec<(String, HealthVerdict)> {
+    BOARD.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// Worst verdict across all models (Healthy for an empty board).
+pub fn board_worst() -> HealthVerdict {
+    BOARD.lock().values().copied().max().unwrap_or(HealthVerdict::Healthy)
+}
+
+/// Clear the board (tests; hold [`crate::test_lock`]).
+pub fn board_reset() {
+    BOARD.lock().clear();
 }
 
 /// Thresholds for [`HealthMonitor`]. The defaults are deliberately loose —
@@ -126,6 +163,10 @@ pub struct HealthMonitor {
 
 impl HealthMonitor {
     pub fn new(model: &str, cfg: HealthConfig) -> Self {
+        // An active fit shows on the health board immediately (as Healthy)
+        // so `/healthz` lists every model that has started, not only those
+        // that already closed an epoch.
+        board_record(model, HealthVerdict::Healthy);
         HealthMonitor {
             model: model.to_string(),
             cfg,
@@ -219,6 +260,7 @@ impl HealthMonitor {
                 );
             }
         }
+        board_record(&self.model, self.verdict);
         self.epochs.push(record);
         self.epoch += 1;
         self.steps = 0;

@@ -54,11 +54,12 @@
 
 pub mod alloc;
 pub mod health;
+pub mod http;
 mod prometheus;
 pub mod spantree;
 pub mod trace;
 
-pub use prometheus::render_prometheus;
+pub use prometheus::{render_prometheus, render_prometheus_all};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -67,7 +68,7 @@ use std::collections::BTreeMap;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 // ---------------------------------------------------------------- levels
@@ -206,6 +207,38 @@ fn root_scope() -> &'static Arc<ScopeInner> {
     ROOT.get_or_init(|| Arc::new(ScopeInner::new()))
 }
 
+// ------------------------------------------------------------- live scopes
+
+/// Weak handles to every [`ModelScope`] ever created, pruned of dead scopes
+/// on registration. The monitor server ([`http`]) walks this list to render
+/// `/metrics` and `/spans` over *live* runs — registries of in-flight model
+/// jobs, not just whatever scope the server thread happens to be in.
+static LIVE_SCOPES: Mutex<Vec<Weak<ScopeInner>>> = Mutex::new(Vec::new());
+
+fn register_scope(scope: &Arc<ScopeInner>) {
+    let mut v = LIVE_SCOPES.lock();
+    v.retain(|w| w.strong_count() > 0);
+    v.push(Arc::downgrade(scope));
+}
+
+/// Every live model scope, in creation order (root scope not included).
+pub(crate) fn live_scopes() -> Vec<Arc<ScopeInner>> {
+    LIVE_SCOPES.lock().iter().filter_map(Weak::upgrade).collect()
+}
+
+/// `(model label, scope)` for the root scope plus every live model scope —
+/// the snapshot surface the monitor endpoints render. The root scope comes
+/// first with an empty label; model scopes carry the label captured from
+/// their `meta` events (empty until the harness emits one).
+pub(crate) fn snapshot_scopes() -> Vec<(String, Arc<ScopeInner>)> {
+    let mut out = vec![(String::new(), Arc::clone(root_scope()))];
+    for s in live_scopes() {
+        let label = s.labels.lock().1.clone();
+        out.push((label, s));
+    }
+    out
+}
+
 thread_local! {
     /// Stack of scopes this thread has entered; empty = root scope.
     static CURRENT_SCOPE: RefCell<Vec<Arc<ScopeInner>>> = const { RefCell::new(Vec::new()) };
@@ -258,9 +291,13 @@ impl Default for ModelScope {
 }
 
 impl ModelScope {
-    /// A fresh scope with an empty registry and no sink.
+    /// A fresh scope with an empty registry and no sink. The scope is
+    /// registered with the process-wide live-scope list so the monitor
+    /// server can snapshot it while jobs are still running.
     pub fn new() -> ModelScope {
-        ModelScope { inner: Arc::new(ScopeInner::new()) }
+        let inner = Arc::new(ScopeInner::new());
+        register_scope(&inner);
+        ModelScope { inner }
     }
 
     /// Route this scope's events to a JSONL file (parents are created).
@@ -314,6 +351,15 @@ impl ModelScope {
                     eprintln!("[rtgcn-telemetry] WARN telemetry.scope_leak: {msg}");
                 }
                 emit_for(&self.inner, &Event::warn("telemetry.scope_leak", &msg));
+                // Also scrapeable: the leak must show up as a counter in
+                // `/metrics`, not only as a one-shot warn line.
+                self.inner
+                    .registry
+                    .counters
+                    .lock()
+                    .entry("telemetry.scope_leak".to_string())
+                    .or_default()
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         flush_aggregates_for(&self.inner);
@@ -580,6 +626,24 @@ pub fn count(name: &str, n: u64) {
             }
         });
     }
+}
+
+/// Level-gate-free increment, the counter analogue of [`warn`]: failure
+/// signals (dropped trace events, journal write failures, scope leaks)
+/// must stay scrapeable via the monitor's `/metrics` even at `Level::Off`.
+/// Use [`count`] for ordinary volume metrics.
+pub fn count_always(name: &str, n: u64) {
+    with_registry(|r| {
+        let mut map = r.counters.lock();
+        match map.get(name) {
+            Some(c) => {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+            None => {
+                map.insert(name.to_string(), Arc::new(AtomicU64::new(n)));
+            }
+        }
+    });
 }
 
 /// Read a counter's current value (0 if it was never touched).
@@ -1054,6 +1118,38 @@ pub fn print_summary() {
     }
 }
 
+// ---------------------------------------------------------------- build info
+
+/// `(unix start seconds, monotonic start)` of this process, captured on
+/// first use. [`init_harness`] touches it early so the value approximates
+/// true process start; scrapes read it for `rtgcn_process_start_time_seconds`
+/// and the uptime gauge.
+fn process_start() -> &'static (u64, Instant) {
+    static START: OnceLock<(u64, Instant)> = OnceLock::new();
+    START.get_or_init(|| (now_ms() / 1000, Instant::now()))
+}
+
+/// Unix timestamp (seconds) this process started, best effort.
+pub fn process_start_unix_secs() -> u64 {
+    process_start().0
+}
+
+/// Seconds since [`process_start_unix_secs`] was first captured.
+pub fn process_uptime_secs() -> f64 {
+    process_start().1.elapsed().as_secs_f64()
+}
+
+/// Crate version baked into the binary (`CARGO_PKG_VERSION`).
+pub fn build_version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// Short git hash captured at build time by `build.rs` (`"unknown"` when
+/// the build ran outside a git checkout).
+pub fn build_git_hash() -> &'static str {
+    option_env!("RTGCN_GIT_HASH").unwrap_or("unknown")
+}
+
 // ---------------------------------------------------------------- harness init
 
 /// RAII handle returned by [`init_harness`]: on drop, flushes aggregate
@@ -1065,6 +1161,9 @@ pub struct Telemetry {
 
 impl Drop for Telemetry {
     fn drop(&mut self) {
+        // Stop serving before the final flush so a scrape racing harness
+        // exit never reads a half-flushed registry.
+        http::shutdown_monitor();
         flush_aggregates();
         if enabled(Level::Summary) {
             print_summary();
@@ -1104,11 +1203,16 @@ pub fn init_harness(harness: &str, log_dir: &Path) -> Telemetry {
     }
     alloc::init_from_env();
     trace::init_from_env();
+    let _ = process_start();
     let path = log_dir.join(format!("run-{}.jsonl", sanitize_label(harness)));
     if let Err(e) = install_file_sink(&path) {
         eprintln!("[rtgcn-telemetry] cannot open JSONL sink {}: {e}", path.display());
     }
     emit(&Event::meta("harness", harness));
+    // Live observability: RTGCN_MONITOR=<addr> starts the read-only HTTP
+    // monitor for the duration of the harness (shut down when this guard
+    // drops).
+    http::start_monitor_from_env();
     Telemetry { _private: () }
 }
 

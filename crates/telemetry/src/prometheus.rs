@@ -1,13 +1,21 @@
 //! Prometheus text-exposition rendering of the aggregate registry: one call
 //! turns counters, histograms, span totals and series into a scrapeable
-//! string — useful for snapshotting perf state without a JSONL consumer.
+//! string — useful for snapshotting perf state without a JSONL consumer,
+//! and the body of the live monitor's `GET /metrics`.
+//!
+//! The output is exposition-format conformant: metric names are sanitised,
+//! label values escaped (`\\`, `"`, `\n`), every family gets exactly one
+//! `# HELP`/`# TYPE` pair even when samples come from several scopes, and
+//! non-finite gauge values are skipped rather than printed as `NaN`.
 
-use crate::{with_registry, Histogram, HIST_BUCKETS};
+use crate::{with_registry, Histogram, Registry, HIST_BUCKETS};
+use std::collections::BTreeMap;
 use std::fmt::Write;
 use std::sync::atomic::Ordering;
 
 /// Map an internal dotted name (`backtest.day_score_ns`) onto a valid
-/// Prometheus metric name (`rtgcn_backtest_day_score_ns`).
+/// Prometheus metric name (`rtgcn_backtest_day_score_ns`). The `rtgcn_`
+/// prefix also guarantees the name never starts with a digit.
 fn metric_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 6);
     out.push_str("rtgcn_");
@@ -26,31 +34,84 @@ fn label_value(v: &str) -> String {
     v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
-/// Render the registry in the Prometheus text exposition format:
-///
-/// - counters → `rtgcn_<name>_total` (TYPE `counter`);
-/// - histograms → `rtgcn_<name>` with cumulative `_bucket{le="…"}` lines
-///   (upper bounds in ns), `_sum` and `_count` (TYPE `histogram`);
-/// - span aggregates → `rtgcn_span_total_ns{path="…"}` and
-///   `rtgcn_span_count{path="…"}`;
-/// - series → a gauge holding the latest recorded value.
-///
-/// Zero-valued counters and empty sections are omitted, so the dump is empty
-/// when nothing has been recorded.
-pub fn render_prometheus() -> String {
-    with_registry(render_registry)
+/// Escape HELP text (backslash and LF — a raw newline would truncate the
+/// comment and turn its tail into a bogus sample line).
+fn help_text(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
-fn render_registry(r: &crate::Registry) -> String {
-    let mut out = String::new();
+/// Render a label set (`{a="x",b="y"}`), empty string for no labels. Values
+/// are escaped; names are trusted (all call sites use fixed label names).
+fn label_set(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// One metric family accumulated across scopes: exactly one `# HELP` and
+/// `# TYPE` line, then all samples (exposition conformance forbids repeated
+/// TYPE lines for the same family).
+struct Family {
+    kind: &'static str,
+    help: String,
+    /// `(label-set string, rendered value)` sample lines. For histograms
+    /// the sample name varies (`_bucket`/`_sum`/`_count`), so each sample
+    /// carries its own full suffix in the label string slot.
+    samples: Vec<String>,
+}
+
+#[derive(Default)]
+struct Families(BTreeMap<String, Family>);
+
+impl Families {
+    fn push(&mut self, family: &str, kind: &'static str, help: &str, line: String) {
+        self.0
+            .entry(family.to_string())
+            .or_insert_with(|| Family { kind, help: help.to_string(), samples: Vec::new() })
+            .samples
+            .push(line);
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.0 {
+            if fam.samples.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "# HELP {name} {}", help_text(&fam.help));
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
+            for s in &fam.samples {
+                out.push_str(s);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Collect one registry's metrics into `fams`, labelling every sample with
+/// `model="<label>"` when `model` is non-empty (the monitor's merged view
+/// over concurrent model scopes).
+fn collect_registry(r: &Registry, model: &str, fams: &mut Families) {
+    let base: Vec<(&str, &str)> =
+        if model.is_empty() { Vec::new() } else { vec![("model", model)] };
     for (name, c) in r.counters.lock().iter() {
         let v = c.load(Ordering::Relaxed);
         if v == 0 {
             continue;
         }
-        let m = metric_name(name);
-        let _ = writeln!(out, "# TYPE {m}_total counter");
-        let _ = writeln!(out, "{m}_total {v}");
+        let m = format!("{}_total", metric_name(name));
+        let line = format!("{m}{} {v}", label_set(&base));
+        fams.push(&m, "counter", &format!("telemetry counter `{name}`"), line);
     }
     for (name, h) in r.hists.lock().iter() {
         let total = h.count();
@@ -58,7 +119,7 @@ fn render_registry(r: &crate::Registry) -> String {
             continue;
         }
         let m = metric_name(name);
-        let _ = writeln!(out, "# TYPE {m} histogram");
+        let help = format!("latency histogram `{name}` (ns)");
         let mut cumulative = 0u64;
         for i in 0..=HIST_BUCKETS {
             let n = h.buckets[i].load(Ordering::Relaxed);
@@ -67,44 +128,126 @@ fn render_registry(r: &crate::Registry) -> String {
             }
             cumulative += n;
             if i < HIST_BUCKETS {
-                let _ =
-                    writeln!(out, "{m}_bucket{{le=\"{}\"}} {cumulative}", Histogram::bound(i));
+                let mut labels = base.clone();
+                let bound = Histogram::bound(i).to_string();
+                labels.push(("le", &bound));
+                fams.push(&m, "histogram", &help, format!("{m}_bucket{} {cumulative}", label_set(&labels)));
             }
         }
-        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {total}");
-        let _ = writeln!(out, "{m}_sum {}", h.sum_ns.load(Ordering::Relaxed));
-        let _ = writeln!(out, "{m}_count {total}");
-        // Pre-computed p50/p95/p99 as summary-style quantile series, so a
-        // scraper gets percentile estimates without re-deriving them from
-        // the bucket boundaries.
+        let mut inf = base.clone();
+        inf.push(("le", "+Inf"));
+        fams.push(&m, "histogram", &help, format!("{m}_bucket{} {total}", label_set(&inf)));
+        fams.push(&m, "histogram", &help, format!("{m}_sum{} {}", label_set(&base), h.sum_ns.load(Ordering::Relaxed)));
+        fams.push(&m, "histogram", &help, format!("{m}_count{} {total}", label_set(&base)));
+        // Pre-computed p50/p95/p99 as a sibling gauge family — quantile
+        // series may not share the histogram family name per the exposition
+        // format, so they live under `<m>_quantile`.
+        let qm = format!("{m}_quantile");
+        let qhelp = format!("estimated quantiles of `{name}` (ns, bucket upper bounds)");
         for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
-            let _ = writeln!(out, "{m}{{quantile=\"{label}\"}} {}", h.percentile(q));
+            let mut labels = base.clone();
+            labels.push(("quantile", label));
+            fams.push(&qm, "gauge", &qhelp, format!("{qm}{} {}", label_set(&labels), h.percentile(q)));
         }
     }
-    let spans = r.spans.lock();
-    if !spans.is_empty() {
-        let _ = writeln!(out, "# TYPE rtgcn_span_total_ns counter");
-        let _ = writeln!(out, "# TYPE rtgcn_span_count counter");
+    {
+        let spans = r.spans.lock();
         for (path, st) in spans.iter() {
-            let p = label_value(path);
-            let _ = writeln!(out, "rtgcn_span_total_ns{{path=\"{p}\"}} {}", st.total_ns);
-            let _ = writeln!(out, "rtgcn_span_count{{path=\"{p}\"}} {}", st.count);
+            let mut labels = base.clone();
+            labels.push(("path", path));
+            let set = label_set(&labels);
+            fams.push(
+                "rtgcn_span_total_ns",
+                "counter",
+                "total nanoseconds recorded under a span path",
+                format!("rtgcn_span_total_ns{set} {}", st.total_ns),
+            );
+            fams.push(
+                "rtgcn_span_count",
+                "counter",
+                "completions recorded under a span path",
+                format!("rtgcn_span_count{set} {}", st.count),
+            );
         }
     }
-    drop(spans);
     for (name, points) in r.series.lock().iter() {
-        let Some(last) = points.last() else { continue };
+        // Latest *finite* value: a NaN tail sample (degenerate fit) must not
+        // print a `NaN` gauge line, and must not hide an earlier real value.
+        let Some(last) = points.iter().rev().find(|p| p.value.is_finite()) else { continue };
         let m = metric_name(name);
-        let _ = writeln!(out, "# TYPE {m} gauge");
-        let _ = writeln!(out, "{m} {}", last.value);
+        let line = format!("{m}{} {}", label_set(&base), last.value);
+        fams.push(&m, "gauge", &format!("latest value of series `{name}`"), line);
     }
-    out
+}
+
+/// Process identity and build provenance: which binary produced this scrape.
+fn collect_process(fams: &mut Families) {
+    let labels =
+        [("version", crate::build_version()), ("git_hash", crate::build_git_hash())];
+    fams.push(
+        "rtgcn_build_info",
+        "gauge",
+        "constant 1; version and git hash identify the build",
+        format!("rtgcn_build_info{} 1", label_set(&labels)),
+    );
+    fams.push(
+        "rtgcn_process_start_time_seconds",
+        "gauge",
+        "unix time the process started",
+        format!("rtgcn_process_start_time_seconds {}", crate::process_start_unix_secs()),
+    );
+    let uptime = crate::process_uptime_secs();
+    if uptime.is_finite() {
+        fams.push(
+            "rtgcn_process_uptime_seconds",
+            "gauge",
+            "seconds since process start",
+            format!("rtgcn_process_uptime_seconds {uptime}"),
+        );
+    }
+}
+
+/// Render the calling thread's current-scope registry in the Prometheus
+/// text exposition format:
+///
+/// - counters → `rtgcn_<name>_total` (TYPE `counter`);
+/// - histograms → `rtgcn_<name>` with cumulative `_bucket{le="…"}` lines
+///   (upper bounds in ns), `_sum` and `_count` (TYPE `histogram`), plus a
+///   `rtgcn_<name>_quantile{quantile="…"}` gauge family for p50/p95/p99;
+/// - span aggregates → `rtgcn_span_total_ns{path="…"}` and
+///   `rtgcn_span_count{path="…"}`;
+/// - series → a gauge holding the latest finite recorded value.
+///
+/// Zero-valued counters and empty sections are omitted, so the dump is empty
+/// when nothing has been recorded.
+pub fn render_prometheus() -> String {
+    let mut fams = Families::default();
+    with_registry(|r| collect_registry(r, "", &mut fams));
+    fams.render()
+}
+
+/// Render *every* live scope — the root scope plus all in-flight
+/// [`crate::ModelScope`] registries — merged into one exposition dump.
+/// Model-scope samples carry a `model="…"` label (from the scope's `meta`
+/// model event; unlabeled scopes render as `model="scope-<n>"` so two
+/// anonymous scopes never collide into one series). Appends
+/// `rtgcn_build_info` and process start/uptime gauges so a scrape
+/// identifies its producer. This is the body of the monitor's `/metrics`.
+pub fn render_prometheus_all() -> String {
+    let mut fams = Families::default();
+    for (i, (label, scope)) in crate::snapshot_scopes().into_iter().enumerate() {
+        let model =
+            if i == 0 { String::new() } else if label.is_empty() { format!("scope-{i}") } else { label };
+        collect_registry(&scope.registry, &model, &mut fams);
+    }
+    collect_process(&mut fams);
+    fams.render()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{count, gauge, record_ns, span, test_scope, Level};
+    use crate::{count, gauge, record_ns, span, test_scope, Level, ModelScope};
 
     #[test]
     fn renders_all_four_sections() {
@@ -117,6 +260,7 @@ mod tests {
         drop(span("fit"));
         let text = render_prometheus();
         assert!(text.contains("# TYPE rtgcn_tensor_matmul_calls_total counter"), "{text}");
+        assert!(text.contains("# HELP rtgcn_tensor_matmul_calls_total"), "{text}");
         assert!(text.contains("rtgcn_tensor_matmul_calls_total 3"), "{text}");
         assert!(text.contains("# TYPE rtgcn_backtest_day_score_ns histogram"), "{text}");
         assert!(text.contains("rtgcn_backtest_day_score_ns_bucket{le=\"+Inf\"} 2"), "{text}");
@@ -140,23 +284,77 @@ mod tests {
     }
 
     #[test]
-    fn histograms_also_render_summary_quantiles() {
+    fn histograms_render_quantiles_as_sibling_gauge_family() {
         let _g = test_scope(Level::Summary);
         record_ns("q", 64);
         record_ns("q", 64);
         record_ns("q", 8_192);
         let text = render_prometheus();
-        // Rank 2 of 3 lands in the 64ns bucket; the p99 rank is the last
-        // sample. Quantile values are bucket upper bounds, like the JSONL
-        // hist events.
-        assert!(text.contains("rtgcn_q{quantile=\"0.5\"} 64"), "{text}");
-        assert!(text.contains("rtgcn_q{quantile=\"0.95\"} 8192"), "{text}");
-        assert!(text.contains("rtgcn_q{quantile=\"0.99\"} 8192"), "{text}");
+        // Quantile series live in their own `<m>_quantile` gauge family —
+        // `m{quantile=…}` under `# TYPE m histogram` is nonconforming.
+        assert!(text.contains("# TYPE rtgcn_q_quantile gauge"), "{text}");
+        assert!(text.contains("rtgcn_q_quantile{quantile=\"0.5\"} 64"), "{text}");
+        assert!(text.contains("rtgcn_q_quantile{quantile=\"0.95\"} 8192"), "{text}");
+        assert!(text.contains("rtgcn_q_quantile{quantile=\"0.99\"} 8192"), "{text}");
+        assert!(!text.contains("rtgcn_q{quantile"), "{text}");
     }
 
     #[test]
     fn empty_registry_renders_empty() {
         let _g = test_scope(Level::Summary);
         assert!(render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn non_finite_gauges_are_skipped_not_printed() {
+        let _g = test_scope(Level::Summary);
+        gauge("fit.nanloss", 0, 0.75);
+        gauge("fit.nanloss", 1, f64::NAN);
+        gauge("fit.allnan", 0, f64::NAN);
+        gauge("fit.inf", 0, f64::INFINITY);
+        let text = render_prometheus();
+        // Latest finite value wins; all-NaN series disappear entirely.
+        assert!(text.contains("rtgcn_fit_nanloss 0.75"), "{text}");
+        assert!(!text.contains("rtgcn_fit_allnan"), "{text}");
+        assert!(!text.contains("rtgcn_fit_inf"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let _g = test_scope(Level::Summary);
+        drop(span("weird\"path\\seg"));
+        let text = render_prometheus();
+        assert!(text.contains(r#"path="weird\"path\\seg""#), "{text}");
+    }
+
+    #[test]
+    fn all_scopes_render_merges_models_with_one_type_line_per_family() {
+        let _g = test_scope(Level::Summary);
+        count("merge.unit.root", 1);
+        let scope = ModelScope::new();
+        scope.emit(&crate::Event::meta("model", "RT-GCN (U)"));
+        {
+            let _e = scope.enter();
+            count("merge.unit.shared", 5);
+        }
+        let scope2 = ModelScope::new();
+        scope2.emit(&crate::Event::meta("model", "LSTM"));
+        {
+            let _e = scope2.enter();
+            count("merge.unit.shared", 7);
+        }
+        let text = render_prometheus_all();
+        assert!(text.contains("rtgcn_merge_unit_root_total 1"), "{text}");
+        assert!(text.contains("rtgcn_merge_unit_shared_total{model=\"RT-GCN (U)\"} 5"), "{text}");
+        assert!(text.contains("rtgcn_merge_unit_shared_total{model=\"LSTM\"} 7"), "{text}");
+        // Exactly one TYPE line for the shared family across both scopes.
+        let type_lines =
+            text.lines().filter(|l| l.starts_with("# TYPE rtgcn_merge_unit_shared_total")).count();
+        assert_eq!(type_lines, 1, "{text}");
+        // Build identity rides along on the merged dump.
+        assert!(text.contains("rtgcn_build_info{version=\""), "{text}");
+        assert!(text.contains("rtgcn_process_start_time_seconds "), "{text}");
     }
 }

@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use std::cell::Cell;
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -127,6 +127,22 @@ pub(crate) struct TraceBuf {
 /// the cap only exists to bound a runaway debug-level loop.
 const MAX_EVENTS_PER_SCOPE: usize = 2_000_000;
 
+/// Test override for [`MAX_EVENTS_PER_SCOPE`] (0 = use the default).
+/// Overflow is otherwise unreachable in a unit test's lifetime.
+static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+#[doc(hidden)]
+pub fn set_max_events_per_scope_for_tests(cap: usize) {
+    CAP_OVERRIDE.store(cap, Ordering::SeqCst);
+}
+
+fn max_events_per_scope() -> usize {
+    match CAP_OVERRIDE.load(Ordering::SeqCst) {
+        0 => MAX_EVENTS_PER_SCOPE,
+        n => n,
+    }
+}
+
 fn record(ph: u8, path: &str) {
     if !active() {
         return;
@@ -135,8 +151,17 @@ fn record(ph: u8, path: &str) {
     let tid = thread_lane();
     crate::with_scope_inner(|scope| {
         let mut buf = scope.trace.lock();
-        if buf.events.len() >= MAX_EVENTS_PER_SCOPE {
+        if buf.events.len() >= max_events_per_scope() {
             buf.dropped += 1;
+            // Also a scrapeable counter: a live /metrics scrape must show
+            // the overflow, not just the post-hoc stderr warning.
+            scope
+                .registry
+                .counters
+                .lock()
+                .entry("trace.dropped_events".to_string())
+                .or_default()
+                .fetch_add(1, Ordering::Relaxed);
         } else {
             buf.events.push(TraceEvent { ph, ts_ns, tid, path: path.to_string() });
         }

@@ -322,11 +322,27 @@ fn finish_with_live_cross_thread_guard_warns_scope_leak() {
         lines.iter().any(|l| l.contains("telemetry.scope_leak")),
         "finish with a live guard must warn, got {lines:?}"
     );
-    // After the worker exits, a second finish is balanced and silent.
+    // The leak is also a counter in the scope registry, so it shows up in
+    // a live /metrics scrape (satellite: scrapeable failure signals).
+    let text = {
+        let _e = scope.enter();
+        tel::render_prometheus()
+    };
+    assert!(
+        text.contains("rtgcn_telemetry_scope_leak_total 1"),
+        "scope leak must be scrapeable, got:\n{text}"
+    );
+    // After the worker exits, a second finish is balanced: no new warn.
+    // (The sticky `telemetry.scope_leak` *counter* still flushes — it is
+    // deliberately scrapeable via /metrics after the fact.)
     scope.finish();
     let lines = scope.drain_memory_sink();
     assert!(
-        !lines.iter().any(|l| l.contains("telemetry.scope_leak")),
+        !lines.iter().any(|l| l.contains("\"kind\":\"warn\"") && l.contains("telemetry.scope_leak")),
         "balanced finish must not warn, got {lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"kind\":\"counter\"") && l.contains("telemetry.scope_leak")),
+        "leak counter must stay scrapeable after the leak, got {lines:?}"
     );
 }

@@ -237,3 +237,35 @@ proptest! {
         prop_assert_eq!(parsed, expected);
     }
 }
+
+/// Trace-buffer overflow must be scrapeable, not just a stderr warning:
+/// every dropped event increments a `trace.dropped_events` counter in the
+/// owning scope's registry, which `/metrics` renders as
+/// `rtgcn_trace_dropped_events_total`.
+#[test]
+fn trace_overflow_increments_scrapeable_counter() {
+    let _g = tel::test_scope(tel::Level::Summary);
+    let dir = fresh_trace_dir("dropped");
+    tel::trace::set_trace_dir(Some(dir.clone()));
+    tel::trace::set_max_events_per_scope_for_tests(4);
+    let scope = tel::ModelScope::new();
+    {
+        let _e = scope.enter();
+        // Each span is a B+E pair: the cap of 4 fits two spans, the rest
+        // overflow (two dropped events per extra span).
+        for _ in 0..5 {
+            drop(tel::span("overflow"));
+        }
+    }
+    tel::trace::set_max_events_per_scope_for_tests(0);
+    tel::trace::set_trace_dir(None);
+    let text = {
+        let _e = scope.enter();
+        tel::render_prometheus()
+    };
+    assert!(
+        text.contains("rtgcn_trace_dropped_events_total 6"),
+        "dropped trace events must be scrapeable, got:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,7 +3,7 @@
 # paper-style table to its log and writes a JSON artifact into results/;
 # telemetry JSONL streams land next to the .txt captures (see --logs).
 #
-# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile]
+# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke]
 #   --logs DIR        directory for harness stdout captures and telemetry
 #                     JSONL (default results/logs; forwarded to every
 #                     harness binary)
@@ -29,6 +29,13 @@
 #                     JSON and collapsed-stack files under
 #                     results/logs/profile/, and fold the run into
 #                     results/PROFILE_table4.md (top-20 spans by self time)
+#   --monitor-smoke   live-observability gate (skips the full queue):
+#                     build, then run rtgcn-monitor-smoke — a 1-seed
+#                     harness with RTGCN_MONITOR=127.0.0.1:0 that scrapes
+#                     /metrics, /healthz, /runs, and /spans over a raw
+#                     std::net::TcpStream (no curl) and exits non-zero on
+#                     any non-200 status or unparseable body; also runs
+#                     inside the default queue's gate alongside lint
 #   --resume          resume smoke check (skips the full queue): start a
 #                     parallel table4 run, kill it after the first job lands
 #                     in the jobs-*.jsonl journal, rerun to completion, and
@@ -49,6 +56,7 @@ VERIFY=0
 RESUME=0
 LINT=0
 PROFILE=0
+MONITOR_SMOKE=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --logs)
@@ -64,8 +72,10 @@ while [ $# -gt 0 ]; do
       LINT=1; shift ;;
     --profile)
       PROFILE=1; shift ;;
+    --monitor-smoke)
+      MONITOR_SMOKE=1; shift ;;
     *)
-      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile])" >&2; exit 2 ;;
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke])" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$R"
@@ -80,6 +90,22 @@ if [ "$LINT" = 1 ]; then
   cargo clippy --workspace -- -D warnings
   $B/rtgcn-lint --deny --json results/LINT.json
   echo LINT_OK
+  exit 0
+fi
+
+if [ "$MONITOR_SMOKE" = 1 ]; then
+  # Live-observability gate only: the same smoke pass the default queue
+  # runs after lint. The binary defaults RTGCN_MONITOR to 127.0.0.1:0
+  # (ephemeral loopback port) and exits 2 on any endpoint failure.
+  cargo build --release --workspace
+  M="$R/monitor-smoke"
+  rm -rf "$M"
+  mkdir -p "$M"
+  RTGCN_JOBS=2 $B/rtgcn-monitor-smoke --logs "$M" --seeds 1 --epochs 1 > "$M/monitor_smoke.txt" 2>&1 \
+    || { cat "$M/monitor_smoke.txt" >&2; echo MONITOR_SMOKE_FAIL >&2; exit 5; }
+  grep -q 'all four endpoints healthy' "$M/monitor_smoke.txt" \
+    || { echo "MONITOR_SMOKE_FAIL: missing healthy marker in $M/monitor_smoke.txt" >&2; exit 5; }
+  echo MONITOR_SMOKE_OK
   exit 0
 fi
 
@@ -176,6 +202,14 @@ cargo build --release --workspace
 # inventory.
 cargo clippy --workspace -- -D warnings
 $B/rtgcn-lint --deny --json results/LINT.json
+# Live-observability smoke: every queue run proves the monitor transport
+# (all four endpoints, ephemeral loopback port) before burning hours on
+# the harnesses it is meant to make watchable.
+M="$R/monitor-smoke"
+rm -rf "$M"
+mkdir -p "$M"
+RTGCN_JOBS=2 $B/rtgcn-monitor-smoke --logs "$M" --seeds 1 --epochs 1 > "$M/monitor_smoke.txt" 2>&1 \
+  || { cat "$M/monitor_smoke.txt" >&2; echo MONITOR_SMOKE_FAIL >&2; exit 5; }
 $B/table2_dataset_stats --logs "$R"                    > $R/table2.txt 2>&1
 $B/table3_relation_stats --logs "$R"                   > $R/table3.txt 2>&1
 RTGCN_JOBS=1 $B/table4_baselines --logs "$R" --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1
