@@ -10,13 +10,14 @@ use rtgcn_core::{FitReport, StockRanker};
 use rtgcn_market::StockDataset;
 use rtgcn_telemetry::health::{HealthConfig, HealthMonitor};
 use rtgcn_tensor::{init, Adam, ParamId, ParamStore, Tape, Tensor};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// L2 weight-decay λ shared by every baseline optimiser (`Adam::new(lr, λ)`).
 pub(crate) const BASELINE_L2: f32 = 1e-4;
 
 /// Shared hyperparameters for the sequence baselines.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SeqConfig {
     pub t_steps: usize,
     pub n_features: usize,
@@ -146,6 +147,22 @@ impl StockRanker for LstmRanker {
         let out = tape.value(pred).data().to_vec();
         self.store.clear_bindings();
         out
+    }
+
+    fn score_window(&mut self, x: &Tensor) -> Option<Vec<f32>> {
+        let mut tape = Tape::new();
+        let pred = self.forward(&mut tape, x);
+        let out = tape.value(pred).data().to_vec();
+        self.store.clear_bindings();
+        Some(out)
+    }
+
+    fn param_store(&self) -> Option<&ParamStore> {
+        Some(&self.store)
+    }
+
+    fn param_store_mut(&mut self) -> Option<&mut ParamStore> {
+        Some(&mut self.store)
     }
 }
 

@@ -20,17 +20,18 @@ use rtgcn_graph::RelationTensor;
 use rtgcn_market::{RelationKind, StockDataset};
 use rtgcn_telemetry::health::{HealthConfig, HealthMonitor};
 use rtgcn_tensor::{init, Adam, CsrEdges, ParamId, ParamStore, Tape, Tensor, Var};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Which relation-strength function RSR uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RsrVariant {
     Implicit,
     Explicit,
 }
 
 /// RSR configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RsrConfig {
     pub t_steps: usize,
     pub n_features: usize,
@@ -230,6 +231,28 @@ impl StockRanker for Rsr {
         let out = tape.value(pred).data().to_vec();
         self.store.clear_bindings();
         out
+    }
+
+    fn prepare(&mut self, ds: &StockDataset) {
+        let relations = ds.relations(self.cfg.relation_kind);
+        self.ensure_built(&relations);
+    }
+
+    fn score_window(&mut self, x: &Tensor) -> Option<Vec<f32>> {
+        self.cell.as_ref()?;
+        let mut tape = Tape::new();
+        let pred = self.forward(&mut tape, x);
+        let out = tape.value(pred).data().to_vec();
+        self.store.clear_bindings();
+        Some(out)
+    }
+
+    fn param_store(&self) -> Option<&ParamStore> {
+        Some(&self.store)
+    }
+
+    fn param_store_mut(&mut self) -> Option<&mut ParamStore> {
+        Some(&mut self.store)
     }
 }
 

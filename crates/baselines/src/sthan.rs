@@ -23,10 +23,11 @@ use rtgcn_graph::Hypergraph;
 use rtgcn_market::{RelationKind, StockDataset};
 use rtgcn_telemetry::health::{HealthConfig, HealthMonitor};
 use rtgcn_tensor::{init, Adam, CsrEdges, ParamId, ParamStore, Tape, Tensor, Var};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// STHAN-SR configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SthanConfig {
     pub t_steps: usize,
     pub n_features: usize,
@@ -257,6 +258,29 @@ impl StockRanker for Sthan {
         let out = tape.value(pred).data().to_vec();
         self.store.clear_bindings();
         out
+    }
+
+    fn prepare(&mut self, ds: &StockDataset) {
+        self.ensure_built(ds);
+    }
+
+    fn score_window(&mut self, x: &Tensor) -> Option<Vec<f32>> {
+        if !self.built {
+            return None;
+        }
+        let mut tape = Tape::new();
+        let pred = self.forward(&mut tape, x);
+        let out = tape.value(pred).data().to_vec();
+        self.store.clear_bindings();
+        Some(out)
+    }
+
+    fn param_store(&self) -> Option<&ParamStore> {
+        Some(&self.store)
+    }
+
+    fn param_store_mut(&mut self) -> Option<&mut ParamStore> {
+        Some(&mut self.store)
     }
 }
 

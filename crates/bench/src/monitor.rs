@@ -186,7 +186,7 @@ pub fn runs_json() -> Value {
 /// [`crate::HarnessArgs::init`] before the server starts, and directly by
 /// tests that start a [`rtgcn_telemetry::http::Server`] by hand.
 pub fn install_runs_route() {
-    rtgcn_telemetry::http::register_route("/runs", || {
+    rtgcn_telemetry::http::register_route("/runs", |_req| {
         rtgcn_telemetry::http::Response::json(200, &runs_json())
     });
 }

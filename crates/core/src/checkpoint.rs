@@ -1,0 +1,444 @@
+//! Durable model checkpoints: a versioned, byte-exact binary container for
+//! trained parameters plus the config and dataset descriptor needed to
+//! rebuild the model that produced them (the format `rtgcn-serve` boots
+//! from).
+//!
+//! ## Wire format (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic      8  b"RTGCKPT\0"
+//! version    2  u16
+//! family     var  string (u32 len + UTF-8), e.g. "rtgcn"
+//! config     var  string — the family's config as JSON, stored verbatim
+//! data       var  string — DataSpec JSON (dataset descriptor), verbatim
+//! n_params   4  u32
+//! per param:
+//!   name     var  string
+//!   rank     4  u32
+//!   dims     8·rank  u64 each
+//!   values   4·numel  f32 each (raw IEEE-754 bits — NaN payloads survive)
+//! checksum   8  u64 FNV-1a over every preceding byte
+//! ```
+//!
+//! The config/data JSON strings are kept verbatim (never re-serialised) so
+//! `from_bytes(to_bytes(c)) == c` holds byte-for-byte, and the trailing
+//! checksum makes any single-byte corruption detectable before the body is
+//! parsed. Decoding never panics: every length is bounds-checked against
+//! the remaining input and hard caps before allocation.
+
+use rtgcn_tensor::{ParamStore, Tensor};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// File magic for the checkpoint container.
+pub const MAGIC: [u8; 8] = *b"RTGCKPT\0";
+/// Current (and only) wire-format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// Cap on any embedded string (names, config JSON). A real config is <1 KiB.
+const MAX_STRING_BYTES: usize = 1 << 20;
+/// Cap on tensor rank; nothing in the workspace exceeds rank 4.
+const MAX_RANK: usize = 8;
+/// Cap on parameter count; the largest model has a few dozen.
+const MAX_PARAMS: usize = 1 << 16;
+
+/// Everything needed to regenerate the dataset a model was trained on.
+/// Features are per-window anchor-normalised (no learned normalisation
+/// state), so `(spec, seed, relation_kind)` deterministically reproduces
+/// the exact inputs the checkpointed parameters expect.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataSpec {
+    pub spec: rtgcn_market::UniverseSpec,
+    pub seed: u64,
+    pub relation_kind: rtgcn_market::RelationKind,
+}
+
+/// A decoded checkpoint: identity + raw JSON payloads + named parameters
+/// in registration order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Model family tag (e.g. `"rtgcn"`, `"lstm"`, `"rsr"`); the serving
+    /// layer dispatches reconstruction on this.
+    pub family: String,
+    /// The family's config serialised as JSON, stored verbatim.
+    pub config_json: String,
+    /// [`DataSpec`] as JSON, stored verbatim.
+    pub data_json: String,
+    /// `(name, value)` per parameter, in [`ParamStore`] registration order.
+    pub params: Vec<(String, Tensor)>,
+}
+
+/// Structured decode/apply failures — corrupted bytes map here, never to a
+/// panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// First 8 bytes are not [`MAGIC`] (or the input is shorter than a
+    /// minimal container).
+    BadMagic,
+    /// Container declares a format version this build cannot read.
+    UnsupportedVersion(u16),
+    /// Trailing FNV-1a checksum does not match the content.
+    ChecksumMismatch { expected: u64, actual: u64 },
+    /// Input ended before the structure it declared (offset = where).
+    Truncated { offset: usize },
+    /// Structurally invalid content (oversized lengths, bad UTF-8, …).
+    Malformed(String),
+    /// `apply_to` target store disagrees with the checkpoint's parameters.
+    ParamMismatch(String),
+    /// Filesystem failure on save/load (message only — `io::Error` does
+    /// not implement `Clone`/`PartialEq`).
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a checkpoint: bad magic"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this build reads {FORMAT_VERSION})")
+            }
+            CheckpointError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#018x}, computed {actual:#018x}")
+            }
+            CheckpointError::Truncated { offset } => {
+                write!(f, "truncated checkpoint: input ends inside a field at byte {offset}")
+            }
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::ParamMismatch(msg) => write!(f, "parameter mismatch: {msg}"),
+            CheckpointError::Io(msg) => write!(f, "checkpoint io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+// ------------------------------------------------------------------ checksum
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ------------------------------------------------------------------- encode
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Checkpoint {
+    /// Capture a trained model's parameters. `config_json`/`data_json` are
+    /// embedded verbatim; params are cloned in registration order.
+    pub fn from_store(
+        family: &str,
+        config_json: String,
+        data_json: String,
+        store: &ParamStore,
+    ) -> Checkpoint {
+        let params = store
+            .ids()
+            .map(|id| (store.name(id).to_string(), store.value(id).clone()))
+            .collect();
+        Checkpoint { family: family.to_string(), config_json, data_json, params }
+    }
+
+    /// Serialise to the versioned container (see module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        put_string(&mut out, &self.family);
+        put_string(&mut out, &self.config_json);
+        put_string(&mut out, &self.data_json);
+        out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        for (name, value) in &self.params {
+            put_string(&mut out, name);
+            let dims = value.dims();
+            out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+            for &d in dims {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &v in value.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decode a container. Returns a structured error on any malformed
+    /// input — never panics, never allocates beyond the input length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        // magic(8) + version(2) + checksum(8)
+        if bytes.len() < 18 {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes[..8] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let (content, tail) = bytes.split_at(bytes.len() - 8);
+        let expected = u64::from_le_bytes(tail.try_into().expect("split_at gives 8 bytes"));
+        let actual = fnv1a64(content);
+        if expected != actual {
+            return Err(CheckpointError::ChecksumMismatch { expected, actual });
+        }
+        let mut r = Reader { buf: content, pos: 10 };
+        let family = r.string("family")?;
+        let config_json = r.string("config")?;
+        let data_json = r.string("data")?;
+        let n_params = r.u32("n_params")? as usize;
+        if n_params > MAX_PARAMS {
+            return Err(CheckpointError::Malformed(format!("{n_params} params exceeds cap")));
+        }
+        let mut params = Vec::with_capacity(n_params.min(1024));
+        for i in 0..n_params {
+            let name = r.string("param name")?;
+            let rank = r.u32("rank")? as usize;
+            if rank > MAX_RANK {
+                return Err(CheckpointError::Malformed(format!(
+                    "param {i} ({name}): rank {rank} exceeds cap {MAX_RANK}"
+                )));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            let mut numel: usize = 1;
+            for _ in 0..rank {
+                let d = r.u64("dim")?;
+                let d = usize::try_from(d)
+                    .map_err(|_| CheckpointError::Malformed(format!("dim {d} overflows usize")))?;
+                numel = numel.checked_mul(d).ok_or_else(|| {
+                    CheckpointError::Malformed(format!("param {name}: element count overflows"))
+                })?;
+                dims.push(d);
+            }
+            let data = r.f32s(numel, &name)?;
+            params.push((name, Tensor::new(dims, data)));
+        }
+        if r.pos != content.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes after last parameter",
+                content.len() - r.pos
+            )));
+        }
+        Ok(Checkpoint { family, config_json, data_json, params })
+    }
+
+    /// Write the container to `path` (via a sibling temp file + rename, so
+    /// a crashed writer never leaves a half-written checkpoint in place).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let io = |e: std::io::Error| CheckpointError::Io(format!("{}: {e}", path.display()));
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, self.to_bytes()).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Read + decode a container from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        Checkpoint::from_bytes(&bytes)
+    }
+
+    /// Content-addressed identity: FNV-1a of the serialised container as
+    /// 16 hex digits. Equal checkpoints ⇔ equal ids; the serving registry
+    /// uses this as the version tag.
+    pub fn content_id(&self) -> String {
+        format!("{:016x}", fnv1a64(&self.to_bytes()))
+    }
+
+    /// Parse the embedded [`DataSpec`].
+    pub fn data_spec(&self) -> Result<DataSpec, CheckpointError> {
+        serde_json::from_str(&self.data_json)
+            .map_err(|e| CheckpointError::Malformed(format!("data spec JSON: {e:?}")))
+    }
+
+    /// Copy every parameter into `store`. The store must contain exactly
+    /// the checkpoint's parameter set with matching shapes (i.e. a freshly
+    /// constructed model of the same family/config).
+    pub fn apply_to(&self, store: &mut ParamStore) -> Result<(), CheckpointError> {
+        if store.len() != self.params.len() {
+            return Err(CheckpointError::ParamMismatch(format!(
+                "store has {} params, checkpoint has {}",
+                store.len(),
+                self.params.len()
+            )));
+        }
+        for (name, value) in &self.params {
+            let id = store.id(name).ok_or_else(|| {
+                CheckpointError::ParamMismatch(format!("store has no parameter named {name:?}"))
+            })?;
+            let target = store.value_mut(id);
+            if target.dims() != value.dims() {
+                return Err(CheckpointError::ParamMismatch(format!(
+                    "{name}: store shape {:?} vs checkpoint {:?}",
+                    target.dims(),
+                    value.dims()
+                )));
+            }
+            *target = value.clone();
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------- decode
+
+/// Bounds-checked cursor over the checksummed content.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(CheckpointError::Truncated { offset: self.pos })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self, _what: &str) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take(4)")))
+    }
+
+    fn u64(&mut self, _what: &str) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take(8)")))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, CheckpointError> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_STRING_BYTES {
+            return Err(CheckpointError::Malformed(format!("{what}: {len}-byte string exceeds cap")));
+        }
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| CheckpointError::Malformed(format!("{what}: invalid UTF-8")))
+    }
+
+    fn f32s(&mut self, n: usize, name: &str) -> Result<Vec<f32>, CheckpointError> {
+        let bytes = n
+            .checked_mul(4)
+            .ok_or_else(|| CheckpointError::Malformed(format!("{name}: byte length overflows")))?;
+        let raw = self.take(bytes)?;
+        Ok(raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("chunk"))).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgcn_market::{Market, RelationKind, Scale, UniverseSpec};
+
+    fn sample() -> Checkpoint {
+        let mut store = ParamStore::new();
+        store.add("fc.w", Tensor::new([2, 3], vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE, 3.25, -0.125]));
+        store.add("fc.b", Tensor::from_vec(vec![0.5]));
+        let data = DataSpec {
+            spec: UniverseSpec::of(Market::Csi, Scale::Small),
+            seed: 7,
+            relation_kind: RelationKind::Both,
+        };
+        Checkpoint::from_store(
+            "rtgcn",
+            "{\"epochs\":3}".to_string(),
+            serde_json::to_string(&data).unwrap(),
+            &store,
+        )
+    }
+
+    #[test]
+    fn round_trip_is_byte_exact() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.to_bytes(), bytes, "re-encode must be byte-identical");
+        assert_eq!(back.content_id(), c.content_id());
+    }
+
+    #[test]
+    fn data_spec_round_trips() {
+        let c = sample();
+        let spec = c.data_spec().unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.relation_kind, RelationKind::Both);
+    }
+
+    #[test]
+    fn apply_to_restores_values_and_rejects_mismatches() {
+        let c = sample();
+        let mut store = ParamStore::new();
+        store.add("fc.w", Tensor::zeros([2, 3]));
+        store.add("fc.b", Tensor::zeros([1]));
+        c.apply_to(&mut store).unwrap();
+        let id = store.id("fc.w").unwrap();
+        assert_eq!(store.value(id).data(), c.params[0].1.data());
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.add("fc.w", Tensor::zeros([3, 2]));
+        wrong_shape.add("fc.b", Tensor::zeros([1]));
+        assert!(matches!(c.apply_to(&mut wrong_shape), Err(CheckpointError::ParamMismatch(_))));
+
+        let mut missing = ParamStore::new();
+        missing.add("fc.w", Tensor::zeros([2, 3]));
+        assert!(matches!(c.apply_to(&mut missing), Err(CheckpointError::ParamMismatch(_))));
+    }
+
+    #[test]
+    fn structured_errors_for_bad_containers() {
+        let c = sample();
+        let good = c.to_bytes();
+
+        assert_eq!(Checkpoint::from_bytes(b"short"), Err(CheckpointError::BadMagic));
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(Checkpoint::from_bytes(&bad_magic), Err(CheckpointError::BadMagic));
+
+        // Version is checked before the checksum, so a bumped version is
+        // reported as such even though the checksum no longer matches.
+        let mut bumped = good.clone();
+        bumped[8] = 0xff;
+        assert_eq!(Checkpoint::from_bytes(&bumped), Err(CheckpointError::UnsupportedVersion(0xff)));
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert!(matches!(
+            Checkpoint::from_bytes(&flipped),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+
+        assert!(matches!(
+            Checkpoint::from_bytes(&good[..good.len() - 9]),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let c = sample();
+        let dir = std::env::temp_dir().join(format!("rtgcn-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        c.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -24,12 +24,14 @@
 //! println!("trained in {:.1}s, final loss {:.4}", report.train_secs, report.final_loss);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod layers;
 pub mod model;
 pub mod ranker;
 pub mod strategy;
 
+pub use checkpoint::{Checkpoint, CheckpointError, DataSpec};
 pub use config::{RtGcnConfig, Strategy};
 pub use model::{RtGcn, StepStats};
 pub use ranker::{FitReport, PhaseSecs, StockRanker};

@@ -72,11 +72,29 @@ impl RtGcn {
     /// Build the model. Panics on invalid configuration (use
     /// [`RtGcnConfig::validate`] for a `Result`).
     pub fn new(config: RtGcnConfig, relations: &RelationTensor, seed: u64) -> Self {
+        RtGcn::build(config, relations, StrategyCtx::new(relations), seed)
+    }
+
+    /// Like [`RtGcn::new`] but sharing a prebuilt normalised-adjacency
+    /// layout (see [`rtgcn_graph::SharedAdjCache`]): the CSR grouping and
+    /// uniform weights are `Arc`-shared with `cache`, while this model gets
+    /// its own frozen-adjacency memo slot. The serving registry uses this
+    /// so concurrent workers over one market never duplicate the layout.
+    pub fn with_shared_cache(
+        config: RtGcnConfig,
+        relations: &RelationTensor,
+        cache: &rtgcn_graph::SharedAdjCache,
+        seed: u64,
+    ) -> Self {
+        let ctx = StrategyCtx::with_cache(relations, cache.fork_layout());
+        RtGcn::build(config, relations, ctx, seed)
+    }
+
+    fn build(config: RtGcnConfig, relations: &RelationTensor, ctx: StrategyCtx, seed: u64) -> Self {
         // lint:allow(panic-free-hot-paths) documented constructor contract: invalid config is a programming error
         config.validate().unwrap_or_else(|e| panic!("invalid RtGcnConfig: {e}"));
         let mut rng = init::rng(seed);
         let mut store = ParamStore::new();
-        let ctx = StrategyCtx::new(relations);
         let k = ctx.k_types;
         let mut rel_convs = Vec::new();
         let mut tcn_blocks = Vec::new();
@@ -142,8 +160,10 @@ impl RtGcn {
         self.store.num_scalars()
     }
 
-    /// Save trained parameters to a checkpoint file (see
-    /// [`rtgcn_tensor::ParamStore::save`]).
+    /// Save trained parameters as a raw [`rtgcn_tensor::ParamStore`] dump.
+    /// For a durable, versioned, checksummed container that also records
+    /// the config and dataset descriptor (what `rtgcn-serve` boots from),
+    /// use [`crate::Checkpoint`] instead.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         self.store.save(path)
     }

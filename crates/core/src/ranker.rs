@@ -68,12 +68,41 @@ pub trait StockRanker {
     /// Ranking scores for the window ending at `end_day` (higher = buy).
     fn scores_for_day(&mut self, ds: &StockDataset, end_day: usize) -> Vec<f32>;
 
+    /// Score an arbitrary `(T, N, D)` feature window directly — the
+    /// serving path for `POST /score`. `None` for models that only score
+    /// dataset days (the default), or whose lazy graph state has not been
+    /// built yet (call [`Self::prepare`] first).
+    fn score_window(&mut self, x: &rtgcn_tensor::Tensor) -> Option<Vec<f32>> {
+        let _ = x;
+        None
+    }
+
     /// Whether scores are a true ranking. Classification baselines return
     /// `false`: their "scores" are class ids (2 = up, 1 = neutral, 0 = down)
     /// and the evaluator falls back to random top-N among predicted-up
     /// stocks (paper Section V-C.1).
     fn can_rank(&self) -> bool {
         true
+    }
+
+    /// Force lazy dataset-derived state (relation graphs, hypergraph
+    /// layouts) into existence *without* training, so checkpoint parameters
+    /// can be applied to a freshly constructed model. Models that build
+    /// everything in their constructor keep the no-op default.
+    fn prepare(&mut self, ds: &StockDataset) {
+        let _ = ds;
+    }
+
+    /// The model's trainable parameters, if it exposes a [`ParamStore`]
+    /// (checkpointable families return `Some`; closed-form baselines like
+    /// ARIMA return the `None` default and cannot be served).
+    fn param_store(&self) -> Option<&rtgcn_tensor::ParamStore> {
+        None
+    }
+
+    /// Mutable access to the parameter store (see [`Self::param_store`]).
+    fn param_store_mut(&mut self) -> Option<&mut rtgcn_tensor::ParamStore> {
+        None
     }
 }
 
@@ -155,6 +184,18 @@ impl StockRanker for RtGcn {
     fn scores_for_day(&mut self, ds: &StockDataset, end_day: usize) -> Vec<f32> {
         let s = ds.sample(end_day, self.config.t_steps, self.config.n_features);
         self.score(&s.x)
+    }
+
+    fn score_window(&mut self, x: &rtgcn_tensor::Tensor) -> Option<Vec<f32>> {
+        Some(self.score(x))
+    }
+
+    fn param_store(&self) -> Option<&rtgcn_tensor::ParamStore> {
+        Some(&self.store)
+    }
+
+    fn param_store_mut(&mut self) -> Option<&mut rtgcn_tensor::ParamStore> {
+        Some(&mut self.store)
     }
 }
 

@@ -36,19 +36,30 @@ pub struct StrategyCtx {
 
 impl StrategyCtx {
     pub fn new(relations: &RelationTensor) -> Self {
-        let n = relations.num_stocks();
+        let rel_pairs = relations.directed_edges();
+        let cache = NormalizedAdjCache::new(relations.num_stocks(), &rel_pairs);
+        StrategyCtx::with_cache(relations, cache)
+    }
+
+    /// Like [`Self::new`] but reusing an existing cache's CSR layout and
+    /// uniform weights (via [`NormalizedAdjCache::fork_layout`]) instead of
+    /// renormalising from scratch. The cache must have been built from the
+    /// same relation tensor. The serving registry uses this so every model
+    /// over one market shares a single layout allocation.
+    pub fn with_cache(relations: &RelationTensor, cache: NormalizedAdjCache) -> Self {
         let rel_pairs = relations.directed_edges();
         let n_rel = rel_pairs.len();
+        assert_eq!(cache.n_rel_edges(), n_rel, "cache built from a different relation tensor");
+        assert_eq!(cache.n_nodes(), relations.num_stocks(), "cache node count mismatch");
         let k = relations.num_types();
         let multi_hot = Tensor::new([n_rel, k.max(1)], if k == 0 {
             vec![0.0; n_rel]
         } else {
             relations.edge_multi_hot_flat()
         });
-        let cache = NormalizedAdjCache::new(n, &rel_pairs);
         StrategyCtx {
             edges: cache.edges().clone(),
-            rel_edges: Edges::new(n, rel_pairs),
+            rel_edges: Edges::new(relations.num_stocks(), rel_pairs),
             n_rel_edges: n_rel,
             k_types: k.max(1),
             multi_hot,

@@ -102,7 +102,29 @@ impl NormalizedAdjCache {
     pub fn invalidate(&self) {
         *self.frozen.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
+
+    /// Wrap in an [`Arc`] for read-only sharing across serving workers.
+    pub fn into_shared(self) -> SharedAdjCache {
+        Arc::new(self)
+    }
+
+    /// A sibling cache sharing this one's CSR layout and uniform weights
+    /// (`Arc`-shared, no recomputation) but with its own empty frozen memo.
+    /// Used when several models serve the same graph concurrently: each
+    /// gets a private memo slot keyed by its own parameters, so one model's
+    /// weight updates never evict another's cached renormalisation.
+    pub fn fork_layout(&self) -> NormalizedAdjCache {
+        NormalizedAdjCache {
+            csr: self.csr.clone(),
+            n_rel_edges: self.n_rel_edges,
+            uniform: Arc::clone(&self.uniform),
+            frozen: Mutex::new(None),
+        }
+    }
 }
+
+/// Read-only handle to a cache shared across serving worker threads.
+pub type SharedAdjCache = Arc<NormalizedAdjCache>;
 
 fn hit_counter() -> &'static rtgcn_telemetry::Counter {
     static C: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();

@@ -20,7 +20,7 @@ pub mod norm;
 pub mod relations;
 pub mod rt_graph;
 
-pub use cache::NormalizedAdjCache;
+pub use cache::{NormalizedAdjCache, SharedAdjCache};
 pub use hypergraph::Hypergraph;
 pub use norm::{renormalize, renormalize_uniform, NormalizedAdjacency, DEGREE_EPS};
 pub use relations::{RelationTensor, RelationType};

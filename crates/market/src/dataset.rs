@@ -8,9 +8,10 @@ use crate::synth::{simulate, MarketSim, SynthConfig};
 use crate::universe::UniverseSpec;
 use rtgcn_graph::RelationTensor;
 use rtgcn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
 
 /// Which relation family feeds the graph (the Table VI ablation).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RelationKind {
     /// Wiki company relations only.
     Wiki,

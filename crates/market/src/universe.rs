@@ -54,7 +54,7 @@ impl Scale {
 }
 
 /// Full specification of one market dataset.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct UniverseSpec {
     pub market: Market,
     /// Number of stocks `N`.

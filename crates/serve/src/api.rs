@@ -1,0 +1,131 @@
+//! The scoring routes, plugged into the `rtgcn_telemetry::http` monitor
+//! server via [`rtgcn_telemetry::http::register_route`] (so `/rank` and
+//! `/score` live next to the built-in `/metrics` and `/healthz`):
+//!
+//! | route    | method | request | 200 body |
+//! |----------|--------|---------|----------|
+//! | `/rank`  | GET    | `?market=<key>&k=<n>` (`k` defaults to 10) | `{"market","version","k","end_day","ranked":[{"stock","score"},…]}` |
+//! | `/score` | POST   | `{"market":<key>,"window":[f;T*N*D]}` | `{"market","version","scores":[f;N]}` |
+//!
+//! Responses are deterministic for a fixed model version — the golden
+//! tests assert bodies byte-for-byte — so everything is rendered through
+//! the vendored `serde_json` writer (stable float formatting, ordered
+//! maps).
+
+use crate::registry::Registry;
+use rtgcn_telemetry::http::{register_route, Request, Response};
+use serde::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default `k` for `/rank` when the query string omits it (paper tables
+/// report top-10 portfolios).
+pub const DEFAULT_K: usize = 10;
+
+fn err_json(status: u16, msg: &str) -> Response {
+    Response::json(status, &Value::Map(vec![("error".to_string(), Value::Str(msg.to_string()))]))
+}
+
+/// Register `/rank` and `/score` against `registry`. Call before (or
+/// after — the route table is live) the monitor server starts.
+pub fn install_routes(registry: Arc<Registry>) {
+    let rank_registry = Arc::clone(&registry);
+    register_route("/rank", move |req| handle_rank(&rank_registry, req));
+    register_route("/score", move |req| handle_score(&registry, req));
+}
+
+fn handle_rank(registry: &Registry, req: &Request) -> Response {
+    if req.method != "GET" {
+        return err_json(405, "/rank is GET-only");
+    }
+    let start = Instant::now();
+    rtgcn_telemetry::counter("serve.rank.requests").inc(1);
+    let resp = rank_response(registry, req);
+    rtgcn_telemetry::record_ns("serve.rank_ns", start.elapsed().as_nanos() as u64);
+    resp
+}
+
+fn rank_response(registry: &Registry, req: &Request) -> Response {
+    let Some(market) = req.query_param("market") else {
+        return err_json(400, "missing required query parameter: market");
+    };
+    let k = match req.query_param("k") {
+        None => DEFAULT_K,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) => k,
+            Err(_) => return err_json(400, "k must be a non-negative integer"),
+        },
+    };
+    let Some(entry) = registry.get(market) else {
+        return err_json(404, "unknown market");
+    };
+    let ranked: Vec<Value> = entry
+        .ranked(k)
+        .into_iter()
+        .map(|(stock, score)| {
+            Value::Map(vec![
+                ("stock".to_string(), Value::U64(stock as u64)),
+                ("score".to_string(), Value::F64(score as f64)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Value::Map(vec![
+            ("market".to_string(), Value::Str(entry.market.clone())),
+            ("version".to_string(), Value::Str(entry.version.clone())),
+            ("k".to_string(), Value::U64(k as u64)),
+            ("end_day".to_string(), Value::U64(entry.end_day as u64)),
+            ("ranked".to_string(), Value::Seq(ranked)),
+        ]),
+    )
+}
+
+fn handle_score(registry: &Registry, req: &Request) -> Response {
+    if req.method != "POST" {
+        return err_json(405, "/score is POST-only");
+    }
+    let start = Instant::now();
+    rtgcn_telemetry::counter("serve.score.requests").inc(1);
+    let resp = score_response(registry, req);
+    rtgcn_telemetry::record_ns("serve.score_ns", start.elapsed().as_nanos() as u64);
+    resp
+}
+
+fn score_response(registry: &Registry, req: &Request) -> Response {
+    let Some(text) = req.body_str() else {
+        return err_json(400, "body is not valid UTF-8");
+    };
+    let Ok(parsed) = serde_json::from_str::<Value>(text) else {
+        return err_json(400, "body is not valid JSON");
+    };
+    let Some(market) = parsed.get("market").and_then(Value::as_str) else {
+        return err_json(400, "body must have a string \"market\" field");
+    };
+    let Some(raw_window) = parsed.get("window").and_then(Value::as_seq) else {
+        return err_json(400, "body must have a numeric-array \"window\" field");
+    };
+    let mut window = Vec::with_capacity(raw_window.len());
+    for v in raw_window {
+        match v.as_f64() {
+            Some(f) => window.push(f as f32),
+            None => return err_json(400, "window values must be numbers"),
+        }
+    }
+    let Some(entry) = registry.get(market) else {
+        return err_json(404, "unknown market");
+    };
+    let scores = match entry.score_window(&window) {
+        Ok(s) => s,
+        Err(e) => return err_json(400, &e.to_string()),
+    };
+    let scores: Vec<Value> = scores.into_iter().map(|s| Value::F64(s as f64)).collect();
+    Response::json(
+        200,
+        &Value::Map(vec![
+            ("market".to_string(), Value::Str(entry.market.clone())),
+            ("version".to_string(), Value::Str(entry.version.clone())),
+            ("scores".to_string(), Value::Seq(scores)),
+        ]),
+    )
+}

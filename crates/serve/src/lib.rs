@@ -1,0 +1,33 @@
+//! # rtgcn-serve
+//!
+//! A long-lived scoring service over the models this workspace trains
+//! (DESIGN.md §13):
+//!
+//! - [`servable`] — rebuild any checkpointable model family from a
+//!   [`rtgcn_core::Checkpoint`] (RT-GCN, LSTM, Rank_LSTM, RSR, STHAN-SR);
+//! - [`registry`] — versioned model registry with atomic hot-swap:
+//!   in-flight requests finish on v(N)'s `Arc` while v(N+1) installs;
+//! - [`api`] — the HTTP routes (`GET /rank`, `POST /score`) plugged into
+//!   the `rtgcn_telemetry::http` monitor server, next to its built-in
+//!   `/healthz` and `/metrics`.
+//!
+//! Binaries: `rtgcn-serve` (the server) and `rtgcn-serve-smoke` (the
+//! `run_experiments.sh --serve-smoke` gate: boot from a checkpoint, scrape
+//! every endpoint, run a short load test with a mid-load hot-swap).
+
+pub mod api;
+pub mod probe;
+pub mod registry;
+pub mod servable;
+
+pub use api::install_routes;
+pub use registry::{ModelEntry, Registry};
+pub use servable::{
+    build_model, checkpoint_model, market_key, BuiltModel, ServeError,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crate_links() {}
+}

@@ -1,0 +1,115 @@
+//! `rtgcn-serve` — long-lived checkpointed scoring service.
+//!
+//! ```text
+//! rtgcn-serve --ckpt results/ckpt/csi.rtgckpt [--ckpt …] \
+//!             [--addr 127.0.0.1:7878] [--reload-secs 5]
+//! ```
+//!
+//! Boots the telemetry HTTP server with the serving routes installed:
+//! `GET /rank?market=<m>&k=<n>`, `POST /score`, plus the built-in
+//! `/healthz`, `/metrics`, and `/spans`. With `--reload-secs N > 0` each
+//! checkpoint file is re-read every N seconds and hot-swapped into the
+//! registry whenever its content id changes — in-flight requests finish
+//! on the old version's snapshot.
+
+use rtgcn_core::Checkpoint;
+use rtgcn_serve::{install_routes, Registry};
+use rtgcn_telemetry::http::Server;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    ckpts: Vec<String>,
+    addr: String,
+    reload_secs: u64,
+}
+
+const USAGE: &str =
+    "usage: rtgcn-serve --ckpt FILE[,FILE...] [--addr 127.0.0.1:7878] [--reload-secs N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { ckpts: Vec::new(), addr: "127.0.0.1:7878".to_string(), reload_secs: 0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--ckpt" => {
+                args.ckpts.extend(value("--ckpt")?.split(',').map(str::to_string));
+            }
+            "--addr" => args.addr = value("--addr")?,
+            "--reload-secs" => {
+                args.reload_secs = value("--reload-secs")?
+                    .parse()
+                    .map_err(|_| "--reload-secs must be an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.ckpts.is_empty() {
+        return Err(format!("at least one --ckpt is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("[rtgcn-serve] error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| fatal(&e));
+    // Summary level arms the serve.{rank,score}_ns histograms on /metrics.
+    rtgcn_telemetry::set_level(rtgcn_telemetry::Level::Summary);
+
+    let registry = Arc::new(Registry::new());
+    // Per-file installed content id, for the reload poll.
+    let mut installed: Vec<(String, String)> = Vec::new();
+    for path in &args.ckpts {
+        let ckpt = Checkpoint::load(path).unwrap_or_else(|e| fatal(&format!("{path}: {e}")));
+        let entry = registry
+            .install_checkpoint(&ckpt)
+            .unwrap_or_else(|e| fatal(&format!("{path}: {e}")));
+        eprintln!(
+            "[rtgcn-serve] {path}: serving {} for market {:?} (version {})",
+            entry.family, entry.market, entry.version
+        );
+        installed.push((path.clone(), entry.version.clone()));
+    }
+    install_routes(Arc::clone(&registry));
+
+    let server = Server::start(&args.addr).unwrap_or_else(|e| {
+        fatal(&format!("cannot bind {}: {e}", args.addr));
+    });
+    eprintln!(
+        "[rtgcn-serve] listening on http://{} (rank, score, healthz, metrics, spans)",
+        server.local_addr()
+    );
+
+    // Serve until killed; poll checkpoints for hot reload when asked to.
+    let poll = Duration::from_secs(args.reload_secs.max(1));
+    loop {
+        std::thread::sleep(poll);
+        if args.reload_secs == 0 {
+            continue;
+        }
+        for (path, version) in &mut installed {
+            // A failed re-read (mid-write, deleted, corrupt) keeps the
+            // installed version serving — reload is best-effort.
+            let Ok(ckpt) = Checkpoint::load(path.as_str()) else { continue };
+            if ckpt.content_id() == *version {
+                continue;
+            }
+            match registry.install_checkpoint(&ckpt) {
+                Ok(entry) => {
+                    eprintln!(
+                        "[rtgcn-serve] {path}: hot-swapped market {:?} {} -> {}",
+                        entry.market, version, entry.version
+                    );
+                    *version = entry.version.clone();
+                }
+                Err(e) => eprintln!("[rtgcn-serve] {path}: reload failed, keeping {version}: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! A deliberately trivial servable model for golden-parity tests: its
+//! scores are hand-computable from the request alone, so `/rank` and
+//! `/score` response bodies can be asserted byte-for-byte.
+
+use rtgcn_core::{FitReport, StockRanker};
+use rtgcn_market::StockDataset;
+use rtgcn_tensor::{ParamId, ParamStore, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Window geometry of a [`WindowSumProbe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeConfig {
+    pub t_steps: usize,
+    pub n_features: usize,
+}
+
+/// `score_i = scale · Σ_{t,d} x[t, i, d]` — one trainable parameter
+/// (`probe.scale`), zero graph state. Exists so serving tests can compute
+/// expected responses by hand; not part of any paper table.
+#[doc(hidden)]
+pub struct WindowSumProbe {
+    pub cfg: ProbeConfig,
+    store: ParamStore,
+    scale: ParamId,
+}
+
+impl WindowSumProbe {
+    pub fn new(cfg: ProbeConfig, scale: f32) -> Self {
+        let mut store = ParamStore::new();
+        let scale = store.add("probe.scale", Tensor::from_vec(vec![scale]));
+        WindowSumProbe { cfg, store, scale }
+    }
+
+    pub fn scale(&self) -> f32 {
+        self.store.value(self.scale).data()[0]
+    }
+}
+
+impl StockRanker for WindowSumProbe {
+    fn name(&self) -> String {
+        "WindowSumProbe".to_string()
+    }
+
+    fn fit(&mut self, _ds: &StockDataset) -> FitReport {
+        FitReport::default()
+    }
+
+    fn scores_for_day(&mut self, ds: &StockDataset, end_day: usize) -> Vec<f32> {
+        let s = ds.sample(end_day, self.cfg.t_steps, self.cfg.n_features);
+        self.score_window(&s.x).expect("probe scores any window")
+    }
+
+    fn score_window(&mut self, x: &Tensor) -> Option<Vec<f32>> {
+        let (t, n, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let scale = self.scale();
+        let data = x.data();
+        let mut out = vec![0.0f32; n];
+        for ti in 0..t {
+            for (i, o) in out.iter_mut().enumerate() {
+                for di in 0..d {
+                    *o += data[(ti * n + i) * d + di];
+                }
+            }
+        }
+        for o in &mut out {
+            *o *= scale;
+        }
+        Some(out)
+    }
+
+    fn param_store(&self) -> Option<&ParamStore> {
+        Some(&self.store)
+    }
+
+    fn param_store_mut(&mut self) -> Option<&mut ParamStore> {
+        Some(&mut self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_scaled_window_sums() {
+        let mut probe = WindowSumProbe::new(ProbeConfig { t_steps: 2, n_features: 2 }, 0.5);
+        // (T=2, N=2, D=2), row-major.
+        let x = Tensor::new([2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let scores = probe.score_window(&x).unwrap();
+        // stock 0: (1 + 2 + 5 + 6) * 0.5 = 7; stock 1: (3 + 4 + 7 + 8) * 0.5 = 11.
+        assert_eq!(scores, vec![7.0, 11.0]);
+    }
+}

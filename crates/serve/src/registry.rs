@@ -1,0 +1,176 @@
+//! Versioned model registry with atomic hot-swap.
+//!
+//! Each market maps to an `Arc<ModelEntry>`. Handlers clone the `Arc` out
+//! of the table, then work on their snapshot without holding any registry
+//! lock — so installing v(N+1) is a pointer swap and every in-flight
+//! request finishes coherently on v(N). `/rank` never takes even the
+//! model lock: the top-day scores are precomputed at install time, making
+//! torn reads structurally impossible.
+
+use crate::servable::{build_model, market_key, ServeError};
+use parking_lot::Mutex;
+use rtgcn_core::{Checkpoint, StockRanker};
+use rtgcn_graph::{NormalizedAdjCache, SharedAdjCache};
+use rtgcn_market::StockDataset;
+use rtgcn_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One installed model version. Immutable after construction except for
+/// the mutex-guarded model (used only by `/score`, which needs `&mut` for
+/// the tape-based forward passes).
+pub struct ModelEntry {
+    /// Content-addressed checkpoint id ([`Checkpoint::content_id`]).
+    pub version: String,
+    /// Family tag (`"rtgcn"`, `"rsr"`, …).
+    pub family: String,
+    /// Registry key (lowercase market name).
+    pub market: String,
+    pub n_stocks: usize,
+    pub t_steps: usize,
+    pub n_features: usize,
+    /// Day the precomputed ranking refers to (latest test end-day).
+    pub end_day: usize,
+    /// Scores for `end_day`, index-aligned with stocks; `/rank` reads
+    /// these without touching the model.
+    pub scores: Vec<f32>,
+    model: Mutex<Box<dyn StockRanker + Send>>,
+}
+
+impl ModelEntry {
+    /// Rebuild the checkpointed model against `ds` and precompute the
+    /// latest-day scores. `ds` must be generated from the checkpoint's
+    /// [`rtgcn_core::DataSpec`]; [`Registry::install_checkpoint`] handles
+    /// that (and dataset reuse across swaps) for you.
+    pub fn from_checkpoint(
+        ckpt: &Checkpoint,
+        ds: &StockDataset,
+        cache: Option<&SharedAdjCache>,
+    ) -> Result<ModelEntry, ServeError> {
+        let data = ckpt.data_spec()?;
+        let mut built = build_model(ckpt, ds, cache)?;
+        let end_day = *ds
+            .test_end_days()
+            .last()
+            .ok_or_else(|| ServeError::BadInput("dataset has no scorable test day".into()))?;
+        let scores = built.model.scores_for_day(ds, end_day);
+        Ok(ModelEntry {
+            version: ckpt.content_id(),
+            family: ckpt.family.clone(),
+            market: market_key(data.spec.market),
+            n_stocks: ds.n_stocks(),
+            t_steps: built.t_steps,
+            n_features: built.n_features,
+            end_day,
+            scores,
+            model: Mutex::new(built.model),
+        })
+    }
+
+    /// Top-`k` stocks by precomputed score, ties broken by stock index.
+    /// `k` past the universe size clamps to every stock.
+    pub fn ranked(&self, k: usize) -> Vec<(usize, f32)> {
+        let mut order: Vec<usize> = (0..self.scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.scores[b].total_cmp(&self.scores[a]).then_with(|| a.cmp(&b))
+        });
+        order.truncate(k.min(self.scores.len()));
+        order.into_iter().map(|i| (i, self.scores[i])).collect()
+    }
+
+    /// Score a raw `(t_steps, n_stocks, n_features)` window, supplied as
+    /// a row-major flat slice. Takes the model lock (`/score` path).
+    pub fn score_window(&self, flat: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let expect = self.t_steps * self.n_stocks * self.n_features;
+        if flat.len() != expect {
+            return Err(ServeError::BadInput(format!(
+                "window must have t_steps*n_stocks*n_features = {expect} values, got {}",
+                flat.len()
+            )));
+        }
+        let x = Tensor::new([self.t_steps, self.n_stocks, self.n_features], flat.to_vec());
+        self.model
+            .lock()
+            .score_window(&x)
+            .ok_or_else(|| ServeError::BadInput(format!("{} cannot score raw windows", self.family)))
+    }
+}
+
+/// The serving registry: market key → current [`ModelEntry`], plus
+/// per-dataset caches so a hot-swap of the same market reuses the
+/// generated dataset and the shared normalised-adjacency layout instead
+/// of rebuilding them.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Arc<ModelEntry>>>,
+    /// Keyed by the checkpoint's verbatim data JSON (a deterministic
+    /// dataset descriptor).
+    datasets: Mutex<BTreeMap<String, Arc<StockDataset>>>,
+    adj_caches: Mutex<BTreeMap<String, SharedAdjCache>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The current entry for a market key, if any (a snapshot: the
+    /// returned `Arc` stays valid across concurrent swaps).
+    pub fn get(&self, market: &str) -> Option<Arc<ModelEntry>> {
+        self.entries.lock().get(market).cloned()
+    }
+
+    /// Registered market keys in sorted order.
+    pub fn markets(&self) -> Vec<String> {
+        self.entries.lock().keys().cloned().collect()
+    }
+
+    /// Atomically install a prebuilt entry under its market key,
+    /// returning the replaced version (the hot-swap primitive).
+    pub fn install_entry(&self, entry: Arc<ModelEntry>) -> Option<Arc<ModelEntry>> {
+        self.entries.lock().insert(entry.market.clone(), entry)
+    }
+
+    /// Decode nothing, build everything: regenerate (or reuse) the
+    /// checkpoint's dataset, rebuild the model, precompute its ranking,
+    /// and swap it in. Returns the installed entry.
+    pub fn install_checkpoint(&self, ckpt: &Checkpoint) -> Result<Arc<ModelEntry>, ServeError> {
+        let ds = self.dataset_for(ckpt)?;
+        let cache = self.adj_cache_for(ckpt, &ds);
+        let entry = Arc::new(ModelEntry::from_checkpoint(ckpt, &ds, Some(&cache))?);
+        self.install_entry(Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// The dataset described by the checkpoint's data JSON, generated at
+    /// most once per descriptor.
+    fn dataset_for(&self, ckpt: &Checkpoint) -> Result<Arc<StockDataset>, ServeError> {
+        if let Some(ds) = self.datasets.lock().get(&ckpt.data_json) {
+            return Ok(Arc::clone(ds));
+        }
+        let data = ckpt.data_spec()?;
+        // Generation happens outside the lock (it is the expensive part);
+        // a concurrent duplicate insert is harmless — both values are
+        // identical and one Arc wins.
+        let ds = Arc::new(StockDataset::generate(data.spec, data.seed));
+        self.datasets.lock().insert(ckpt.data_json.clone(), Arc::clone(&ds));
+        Ok(ds)
+    }
+
+    /// The shared normalised-adjacency layout for the checkpoint's
+    /// dataset descriptor, built at most once per descriptor.
+    fn adj_cache_for(&self, ckpt: &Checkpoint, ds: &StockDataset) -> SharedAdjCache {
+        if let Some(c) = self.adj_caches.lock().get(&ckpt.data_json) {
+            return Arc::clone(c);
+        }
+        let kind = ckpt
+            .data_spec()
+            .map(|d| d.relation_kind)
+            .unwrap_or(rtgcn_market::RelationKind::Both);
+        let relations = ds.relations(kind);
+        let cache = NormalizedAdjCache::new(relations.num_stocks(), &relations.directed_edges())
+            .into_shared();
+        self.adj_caches.lock().insert(ckpt.data_json.clone(), Arc::clone(&cache));
+        cache
+    }
+}

@@ -32,6 +32,9 @@ use std::time::Duration;
 
 /// Request head (request line + headers) larger than this gets a 431.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// POST body larger than this gets a 413 (a feature window for a
+/// paper-scale market is well under this).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 /// Per-connection read/write timeout; a stalled client is dropped.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// Connections handled concurrently; excess get an immediate 503.
@@ -67,6 +70,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -89,26 +93,72 @@ impl Response {
     }
 }
 
+// --------------------------------------------------------------- requests
+
+/// A parsed request handed to registered handlers: method (`GET` or
+/// `POST` — everything else is rejected before dispatch), the path with
+/// the query string stripped, the raw query string, and the request body
+/// (empty for GET; bounded by [`MAX_BODY_BYTES`] for POST).
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: String,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A bodyless GET (handy for tests and internal dispatch).
+    pub fn get(path: &str) -> Request {
+        let (path, query) = split_target(path);
+        Request { method: "GET".to_string(), path, query, body: Vec::new() }
+    }
+
+    /// First value of `name` in the query string (`k=v` pairs joined by
+    /// `&`; no percent-decoding — route values here are plain tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// The body as UTF-8, or `None` when it isn't valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Split a request target into `(path, query)` at the first `?`.
+fn split_target(target: &str) -> (String, String) {
+    match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    }
+}
+
 // ---------------------------------------------------------------- routes
 
-type Handler = Arc<dyn Fn() -> Response + Send + Sync>;
+type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
 static ROUTES: Mutex<Vec<(String, Handler)>> = Mutex::new(Vec::new());
 
-/// Register (or replace) a read-only GET route. Call before the server
-/// starts — typically before `init_harness` runs — though routes added
-/// later are picked up too (the table is consulted per request). Paths are
-/// matched exactly after the query string is stripped.
-pub fn register_route(path: &str, handler: impl Fn() -> Response + Send + Sync + 'static) {
+/// Register (or replace) a route. The handler receives the parsed
+/// [`Request`] (method, query string, POST body) and owns its method
+/// policy — return a 405 yourself for methods you don't serve. Call before
+/// the server starts — typically before `init_harness` runs — though
+/// routes added later are picked up too (the table is consulted per
+/// request). Paths are matched exactly after the query string is stripped.
+pub fn register_route(path: &str, handler: impl Fn(&Request) -> Response + Send + Sync + 'static) {
     let mut routes = ROUTES.lock();
     routes.retain(|(p, _)| p != path);
     routes.push((path.to_string(), Arc::new(handler)));
 }
 
-fn dispatch(path: &str) -> Response {
+fn dispatch(req: &Request) -> Response {
     let handler: Option<Handler> = {
         let routes = ROUTES.lock();
-        routes.iter().find(|(p, _)| p == path).map(|(_, h)| Arc::clone(h))
+        routes.iter().find(|(p, _)| p == &req.path).map(|(_, h)| Arc::clone(h))
     };
     let run = |f: &dyn Fn() -> Response| {
         // A panicking handler must not kill the connection thread silently:
@@ -117,9 +167,13 @@ fn dispatch(path: &str) -> Response {
             .unwrap_or_else(|_| Response::text(500, "handler panicked\n"))
     };
     if let Some(h) = handler {
-        return run(&|| h());
+        return run(&|| h(req));
     }
-    match path {
+    // Built-in observability endpoints are read-only: GET only.
+    if req.method != "GET" {
+        return Response::text(405, "built-in endpoints are GET-only\n");
+    }
+    match req.path.as_str() {
         "/metrics" => run(&handle_metrics),
         "/healthz" => run(&handle_healthz),
         "/spans" => run(&handle_spans),
@@ -195,14 +249,15 @@ enum HeadError {
     Disconnect,
 }
 
-/// Read the request head (through the blank line). The body, if any, is
-/// ignored — every endpoint is GET.
-fn read_head(stream: &mut TcpStream) -> Result<String, HeadError> {
+/// Read the request head (through the blank line). Returns the head text
+/// plus any body bytes that arrived in the same reads (handed to
+/// [`read_body`]).
+fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), HeadError> {
     let mut buf: Vec<u8> = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    loop {
-        if find_terminator(&buf).is_some() {
-            break;
+    let (end, term_len) = loop {
+        if let Some((at, len)) = find_terminator(&buf) {
+            break (at, len);
         }
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HeadError::TooLarge);
@@ -212,16 +267,23 @@ fn read_head(stream: &mut TcpStream) -> Result<String, HeadError> {
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => return Err(HeadError::Disconnect),
         }
-    }
-    String::from_utf8(buf).map_err(|_| HeadError::Disconnect)
+    };
+    let leftover = buf.split_off(end + term_len);
+    let head = String::from_utf8(buf).map_err(|_| HeadError::Disconnect)?;
+    Ok((head, leftover))
 }
 
-fn find_terminator(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").or_else(|| buf.windows(2).position(|w| w == b"\n\n"))
+/// Position and length of the head terminator (`\r\n\r\n`, tolerant of a
+/// bare `\n\n`).
+fn find_terminator(buf: &[u8]) -> Option<(usize, usize)> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| (p, 4))
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| (p, 2)))
 }
 
-/// Parse the request line into `(method, path)`. Query strings are
-/// stripped; anything that is not `METHOD SP TARGET SP HTTP/…` is an error.
+/// Parse the request line into `(method, target)`; anything that is not
+/// `METHOD SP TARGET SP HTTP/…` is an error.
 fn parse_request_line(head: &str) -> Option<(String, String)> {
     let line = head.lines().next()?;
     let mut parts = line.split(' ');
@@ -234,14 +296,39 @@ fn parse_request_line(head: &str) -> Option<(String, String)> {
     if !target.starts_with('/') {
         return None;
     }
-    let path = target.split('?').next().unwrap_or(target);
-    Some((method.to_string(), path.to_string()))
+    Some((method.to_string(), target.to_string()))
+}
+
+/// The declared `Content-Length`, if any. `Err` on an unparseable value.
+fn content_length(head: &str) -> Result<usize, ()> {
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            return value.trim().parse::<usize>().map_err(|_| ());
+        }
+    }
+    Ok(0)
+}
+
+/// Read the remaining `want` body bytes beyond what `leftover` already
+/// holds. `None` on disconnect/timeout mid-body.
+fn read_body(stream: &mut TcpStream, mut leftover: Vec<u8>, want: usize) -> Option<Vec<u8>> {
+    let mut chunk = [0u8; 4096];
+    while leftover.len() < want {
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => leftover.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    leftover.truncate(want);
+    Some(leftover)
 }
 
 fn handle_connection(mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let head = match read_head(&mut stream) {
+    let (head, leftover) = match read_head(&mut stream) {
         Ok(h) => h,
         Err(HeadError::TooLarge) => {
             Response::text(431, "request head exceeds 8 KiB\n").write_to(&mut stream);
@@ -251,13 +338,21 @@ fn handle_connection(mut stream: TcpStream) {
         Err(HeadError::Disconnect) => return,
     };
     let resp = match parse_request_line(&head) {
-        Some((method, path)) => {
-            if method == "GET" {
-                dispatch(&path)
-            } else {
-                Response::text(405, "only GET is supported\n")
+        Some((method, target)) if method == "GET" || method == "POST" => {
+            let (path, query) = split_target(&target);
+            match content_length(&head) {
+                Err(()) => Response::text(400, "unparseable Content-Length\n"),
+                Ok(len) if len > MAX_BODY_BYTES => {
+                    Response::text(413, "request body exceeds 4 MiB\n")
+                }
+                Ok(len) => match read_body(&mut stream, leftover, len) {
+                    // Disconnect mid-body: nobody is listening for a reply.
+                    None => return,
+                    Some(body) => dispatch(&Request { method, path, query, body }),
+                },
             }
         }
+        Some(_) => Response::text(405, "only GET and POST are supported\n"),
         None => Response::text(400, "malformed request line\n"),
     };
     resp.write_to(&mut stream);

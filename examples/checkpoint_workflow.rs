@@ -1,45 +1,54 @@
-//! Train-once / deploy-later workflow: fit RT-GCN, checkpoint the trained
-//! parameters to disk, reload them into a freshly built model, and verify
-//! the reloaded model reproduces the exact same ranking — the pattern a
-//! production stock-selection job would use (retrain nightly, score daily).
+//! Train-once / deploy-later workflow on the durable checkpoint format:
+//! fit RT-GCN, capture a versioned `.rtgckpt` container (params + config +
+//! dataset descriptor), reload it from disk, rebuild the model through the
+//! serving layer, and verify the reload reproduces the trained model's
+//! ranking bit-for-bit — the exact path `rtgcn-serve` boots from.
 //!
 //! ```sh
 //! cargo run --release --example checkpoint_workflow
 //! ```
 
-use rtgcn::core::{RtGcn, RtGcnConfig, StockRanker, Strategy};
+use rtgcn::core::{Checkpoint, DataSpec, RtGcn, RtGcnConfig, StockRanker, Strategy};
 use rtgcn::eval::top_k_indices;
 use rtgcn::market::{Market, RelationKind, Scale, StockDataset, UniverseSpec};
+use rtgcn::serve::servable::{build_model, checkpoint_rtgcn};
 
 fn main() {
     let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
     spec.stocks = 24;
     spec.train_days = 150;
     spec.test_days = 20;
-    let ds = StockDataset::generate(spec, 3);
-    let relations = ds.relations(RelationKind::Both);
+    let data = DataSpec { spec, seed: 3, relation_kind: RelationKind::Both };
+    let ds = StockDataset::generate(data.spec.clone(), data.seed);
+    let relations = ds.relations(data.relation_kind);
     let cfg = RtGcnConfig { epochs: 3, ..RtGcnConfig::with_strategy(Strategy::Weighted) };
 
-    // Nightly job: train and checkpoint.
-    let mut trainer = RtGcn::new(cfg.clone(), &relations, 3);
+    // Nightly job: train, then capture everything needed to serve — the
+    // parameters, the config JSON, and the dataset descriptor.
+    let mut trainer = RtGcn::new(cfg, &relations, 3);
     println!("training ({} parameters)...", trainer.num_params());
     let fit = trainer.fit(&ds);
     println!("trained in {:.1}s, final loss {:.5}", fit.train_secs, fit.final_loss);
-    let ckpt = std::env::temp_dir().join("rtgcn_quickstart.rtgp");
-    trainer.save(&ckpt).expect("save checkpoint");
-    println!("checkpoint written to {}", ckpt.display());
+    let ckpt = checkpoint_rtgcn(&trainer, &data).expect("capture checkpoint");
+    let path = std::env::temp_dir().join("rtgcn_quickstart.rtgckpt");
+    ckpt.save(&path).expect("save checkpoint");
+    println!("checkpoint written to {} (version {})", path.display(), ckpt.content_id());
 
-    // Daily job: rebuild the model (same config + relations), load weights,
-    // score today's window.
-    let mut scorer = RtGcn::new(cfg, &relations, 999); // different init seed
-    scorer.load(&ckpt).expect("load checkpoint");
+    // Daily job: reload the container and let the serving layer rebuild
+    // the model from the embedded config — no hand-matched constructor
+    // arguments, and the load is checksummed + byte-exact.
+    let loaded = Checkpoint::load(&path).expect("load checkpoint");
+    assert_eq!(loaded, ckpt, "disk round trip must be lossless");
+    assert_eq!(loaded.content_id(), ckpt.content_id());
+    let mut scorer = build_model(&loaded, &ds, None).expect("rebuild model from checkpoint");
+
     let day = ds.test_end_days()[0];
     let fresh = trainer.scores_for_day(&ds, day);
-    let loaded = scorer.scores_for_day(&ds, day);
-    assert_eq!(fresh, loaded, "checkpoint must reproduce the trained model exactly");
+    let reloaded = scorer.model.scores_for_day(&ds, day);
+    assert_eq!(fresh, reloaded, "checkpoint must reproduce the trained model exactly");
 
-    let picks = top_k_indices(&loaded, 5);
+    let picks = top_k_indices(&reloaded, 5);
     println!("\nreloaded model's top-5 for day {day}: {picks:?}");
     println!("scores identical to the in-memory trained model: ✓");
-    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&path).ok();
 }

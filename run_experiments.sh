@@ -3,7 +3,7 @@
 # paper-style table to its log and writes a JSON artifact into results/;
 # telemetry JSONL streams land next to the .txt captures (see --logs).
 #
-# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke]
+# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke] [--serve-smoke]
 #   --logs DIR        directory for harness stdout captures and telemetry
 #                     JSONL (default results/logs; forwarded to every
 #                     harness binary)
@@ -36,6 +36,15 @@
 #                     std::net::TcpStream (no curl) and exits non-zero on
 #                     any non-200 status or unparseable body; also runs
 #                     inside the default queue's gate alongside lint
+#   --serve-smoke     scoring-service gate (skips the full queue): build,
+#                     then run rtgcn-serve-smoke — train a 1-seed RT-GCN,
+#                     checkpoint it to disk, reload, boot /rank + /score on
+#                     the monitor server, scrape every endpoint, and run a
+#                     short concurrent load test with mid-load hot-swaps
+#                     (zero failed requests tolerated); folds the latency
+#                     histograms into results/BENCH_serve.json and, if
+#                     results/BENCH_serve.baseline.json exists, diffs
+#                     against it; also runs inside the default queue's gate
 #   --resume          resume smoke check (skips the full queue): start a
 #                     parallel table4 run, kill it after the first job lands
 #                     in the jobs-*.jsonl journal, rerun to completion, and
@@ -57,6 +66,7 @@ RESUME=0
 LINT=0
 PROFILE=0
 MONITOR_SMOKE=0
+SERVE_SMOKE=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --logs)
@@ -74,13 +84,39 @@ while [ $# -gt 0 ]; do
       PROFILE=1; shift ;;
     --monitor-smoke)
       MONITOR_SMOKE=1; shift ;;
+    --serve-smoke)
+      SERVE_SMOKE=1; shift ;;
     *)
-      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke])" >&2; exit 2 ;;
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke] [--serve-smoke])" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$R"
 
 B=./target/release
+
+# Scoring-service smoke: train + checkpoint a 1-seed RT-GCN, boot /rank and
+# /score over the monitor server, scrape every endpoint, then load-test with
+# hot-swaps mid-load. Folds the request-latency histograms into
+# results/BENCH_serve.json and diffs against the committed baseline (if
+# present) at the same 1.5x threshold as the table4 perf gate. Shared by
+# the --serve-smoke early exit and the default queue's gate.
+serve_smoke_pass() {
+  S="$R/serve-smoke"
+  rm -rf "$S"
+  mkdir -p "$S"
+  $B/rtgcn-serve-smoke --logs "$S" --seeds 1 --epochs 1 > "$S/serve_smoke.txt" 2>&1 \
+    || { cat "$S/serve_smoke.txt" >&2; echo SERVE_SMOKE_FAIL >&2; exit 5; }
+  grep -q 'serving endpoints healthy' "$S/serve_smoke.txt" \
+    || { echo "SERVE_SMOKE_FAIL: missing healthy marker in $S/serve_smoke.txt" >&2; exit 5; }
+  grep -q 'hot-swap clean' "$S/serve_smoke.txt" \
+    || { echo "SERVE_SMOKE_FAIL: hot-swap marker missing in $S/serve_smoke.txt" >&2; exit 5; }
+  $B/rtgcn-report --logs "$S" --harness serve_smoke \
+    --out results/BENCH_serve.json --md "$S/BENCH_serve.md"
+  if [ -f results/BENCH_serve.baseline.json ]; then
+    $B/rtgcn-report --baseline results/BENCH_serve.baseline.json \
+      results/BENCH_serve.json --threshold 1.5
+  fi
+}
 
 if [ "$LINT" = 1 ]; then
   # Static-analysis gate only: the same build + clippy + rtgcn-lint
@@ -106,6 +142,15 @@ if [ "$MONITOR_SMOKE" = 1 ]; then
   grep -q 'all four endpoints healthy' "$M/monitor_smoke.txt" \
     || { echo "MONITOR_SMOKE_FAIL: missing healthy marker in $M/monitor_smoke.txt" >&2; exit 5; }
   echo MONITOR_SMOKE_OK
+  exit 0
+fi
+
+if [ "$SERVE_SMOKE" = 1 ]; then
+  # Scoring-service gate only: the same pass the default queue runs after
+  # the monitor smoke.
+  cargo build --release --workspace
+  serve_smoke_pass
+  echo SERVE_SMOKE_OK
   exit 0
 fi
 
@@ -210,6 +255,10 @@ rm -rf "$M"
 mkdir -p "$M"
 RTGCN_JOBS=2 $B/rtgcn-monitor-smoke --logs "$M" --seeds 1 --epochs 1 > "$M/monitor_smoke.txt" 2>&1 \
   || { cat "$M/monitor_smoke.txt" >&2; echo MONITOR_SMOKE_FAIL >&2; exit 5; }
+# Scoring-service smoke: the serving stack (durable checkpoints, hot-swap
+# registry, /rank + /score) must survive a concurrent load test before the
+# queue's long harnesses run.
+serve_smoke_pass
 $B/table2_dataset_stats --logs "$R"                    > $R/table2.txt 2>&1
 $B/table3_relation_stats --logs "$R"                   > $R/table3.txt 2>&1
 RTGCN_JOBS=1 $B/table4_baselines --logs "$R" --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1

@@ -10,11 +10,13 @@
 //! - [`baselines`] — every comparator model from the paper's evaluation
 //! - [`eval`] — backtesting, MRR/IRR metrics, Wilcoxon significance tests
 //! - [`telemetry`] — tracing, metrics, gauge series and training health
+//! - [`serve`] — durable checkpoints, hot-swap model registry, HTTP scoring
 
 pub use rtgcn_baselines as baselines;
 pub use rtgcn_core as core;
 pub use rtgcn_eval as eval;
 pub use rtgcn_graph as graph;
 pub use rtgcn_market as market;
+pub use rtgcn_serve as serve;
 pub use rtgcn_telemetry as telemetry;
 pub use rtgcn_tensor as tensor;
