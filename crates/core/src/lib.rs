@@ -29,10 +29,12 @@ pub mod config;
 pub mod layers;
 pub mod model;
 pub mod ranker;
+pub mod refit;
 pub mod strategy;
 
 pub use checkpoint::{Checkpoint, CheckpointError, DataSpec};
 pub use config::{RtGcnConfig, Strategy};
 pub use model::{RtGcn, StepStats};
 pub use ranker::{FitReport, PhaseSecs, StockRanker};
+pub use refit::{RefitPolicy, RefitReason};
 pub use strategy::StrategyCtx;

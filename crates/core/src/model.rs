@@ -305,6 +305,50 @@ impl RtGcn {
         out
     }
 
+    /// Inference with a precomputed time-sensitive correlation factor
+    /// (`(T, E_rel)`, from the streaming engine's per-plane cache): installs
+    /// it as the strategy's override for the duration of one forward, then
+    /// clears it. Callers guarantee `corr` was computed for exactly this
+    /// window — [`StrategyCtx`] falls back to the exact path on any dim
+    /// mismatch.
+    pub fn score_with_corr(&mut self, x: &Tensor, corr: &Tensor) -> Vec<f32> {
+        self.ctx.corr_override = Some(corr.clone());
+        let out = self.score(x);
+        self.ctx.corr_override = None;
+        out
+    }
+
+    /// Rebuild the strategy context for a mutated relation tensor (streaming
+    /// edge add/drop events). The learned relation-importance parameters
+    /// `w ∈ R^K` carry over, so the stock universe and type count must be
+    /// unchanged; returns `false` (and leaves the model untouched) otherwise.
+    pub fn refresh_relations(&mut self, relations: &RelationTensor) -> bool {
+        if relations.num_stocks() != self.n_stocks {
+            rtgcn_telemetry::warn(
+                "stream.refresh_relations",
+                &format!(
+                    "stock universe changed ({} -> {}); refusing to refresh",
+                    self.n_stocks,
+                    relations.num_stocks()
+                ),
+            );
+            return false;
+        }
+        if relations.num_types().max(1) != self.ctx.k_types {
+            rtgcn_telemetry::warn(
+                "stream.refresh_relations",
+                &format!(
+                    "relation type count changed ({} -> {}); learned w no longer applies",
+                    self.ctx.k_types,
+                    relations.num_types().max(1)
+                ),
+            );
+            return false;
+        }
+        self.ctx = StrategyCtx::new(relations);
+        true
+    }
+
     /// One optimisation step on a single day's window. Returns the loss.
     pub fn train_step(&mut self, x: &Tensor, y: &Tensor, opt: &mut dyn Optimizer) -> f32 {
         self.train_step_stats(x, y, opt).loss
@@ -569,6 +613,60 @@ mod tests {
         b.load(&path).unwrap();
         assert_eq!(b.score(&x), expect, "loaded model must reproduce scores");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corr_override_reproduces_exact_scores() {
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::TimeSensitive);
+        cfg.t_steps = 6;
+        cfg.n_features = 2;
+        cfg.dropout = 0.0;
+        let rel = relations(5);
+        let mut model = RtGcn::new(cfg, &rel, 41);
+        let (x, _) = toy_input(6, 5, 2, 42);
+        let base = model.score(&x);
+        // Feed back the exact correlation the batch path would compute: the
+        // override must be bit-transparent.
+        let corr_t = {
+            let mut tape = Tape::new();
+            let x3 = tape.constant(x.clone());
+            let corr = tape.edge_dot_batched(&model.ctx.rel_edges, x3, (2.0f32).sqrt());
+            tape.value(corr).clone()
+        };
+        assert_eq!(corr_t.dims(), &[6, model.ctx.n_rel_edges]);
+        let streamed = model.score_with_corr(&x, &corr_t);
+        assert_eq!(base, streamed, "override with the true corr must be exact");
+        assert!(model.ctx.corr_override.is_none(), "override must be cleared");
+        // A mismatched override is ignored, not mis-applied.
+        let bad = Tensor::zeros([6, 1]);
+        assert_eq!(model.score_with_corr(&x, &bad), base);
+    }
+
+    #[test]
+    fn refresh_relations_swaps_graph_but_keeps_params() {
+        let mut cfg = RtGcnConfig::with_strategy(Strategy::TimeSensitive);
+        cfg.t_steps = 6;
+        cfg.n_features = 2;
+        cfg.dropout = 0.0;
+        let rel = relations(5);
+        let mut model = RtGcn::new(cfg, &rel, 43);
+        let (x, _) = toy_input(6, 5, 2, 44);
+        let before = model.score(&x);
+        // Same universe + type count, different edges: accepted.
+        let mut rel2 = RelationTensor::new(5, 2);
+        rel2.connect(0, 4, 0);
+        rel2.connect(1, 3, 1);
+        assert!(model.refresh_relations(&rel2));
+        assert_eq!(model.ctx.n_rel_edges, 4);
+        let after = model.score(&x);
+        assert_ne!(before, after, "a different graph must change scores");
+        // Type-count change: refused, state untouched.
+        let rel3 = RelationTensor::new(5, 3);
+        assert!(!model.refresh_relations(&rel3));
+        assert_eq!(model.ctx.k_types, 2);
+        // Universe change: refused.
+        let rel4 = RelationTensor::new(6, 2);
+        assert!(!model.refresh_relations(&rel4));
     }
 
     #[test]

@@ -77,6 +77,29 @@ pub trait StockRanker {
         None
     }
 
+    /// Streaming variant of [`Self::score_window`]: the day-advance engine
+    /// may pass a precomputed `(T, E_rel)` time-sensitive correlation factor
+    /// from its per-plane cache. Models that can consume it (RT-GCN's
+    /// time-sensitive strategy) skip re-dotting every plane; everyone else
+    /// ignores it and scores normally — the default.
+    fn score_window_streamed(
+        &mut self,
+        x: &rtgcn_tensor::Tensor,
+        corr: Option<&rtgcn_tensor::Tensor>,
+    ) -> Option<Vec<f32>> {
+        let _ = corr;
+        self.score_window(x)
+    }
+
+    /// Rebuild relation-derived state after the graph mutated (streaming
+    /// edge add/drop events). Returns whether the model took the new tensor;
+    /// `false` (the default) means the model has no relation state or cannot
+    /// absorb the change, and the caller must fall back to a full refit.
+    fn refresh_relations(&mut self, relations: &rtgcn_graph::RelationTensor) -> bool {
+        let _ = relations;
+        false
+    }
+
     /// Whether scores are a true ranking. Classification baselines return
     /// `false`: their "scores" are class ids (2 = up, 1 = neutral, 0 = down)
     /// and the evaluator falls back to random top-N among predicted-up
@@ -188,6 +211,33 @@ impl StockRanker for RtGcn {
 
     fn score_window(&mut self, x: &rtgcn_tensor::Tensor) -> Option<Vec<f32>> {
         Some(self.score(x))
+    }
+
+    fn score_window_streamed(
+        &mut self,
+        x: &rtgcn_tensor::Tensor,
+        corr: Option<&rtgcn_tensor::Tensor>,
+    ) -> Option<Vec<f32>> {
+        use crate::config::Strategy;
+        match corr {
+            // The override is only sound when exactly one relational layer
+            // consumes the raw input window on the fused path: with stacked
+            // layers the second convolution dots *hidden* activations, which
+            // the per-plane cache does not model.
+            Some(c)
+                if self.config.fused
+                    && self.config.use_relational
+                    && self.config.layers == 1
+                    && self.config.strategy == Strategy::TimeSensitive =>
+            {
+                Some(self.score_with_corr(x, c))
+            }
+            _ => self.score_window(x),
+        }
+    }
+
+    fn refresh_relations(&mut self, relations: &rtgcn_graph::RelationTensor) -> bool {
+        RtGcn::refresh_relations(self, relations)
     }
 
     fn param_store(&self) -> Option<&rtgcn_tensor::ParamStore> {

@@ -1,0 +1,139 @@
+//! Walk-forward refit policy for the streaming day-advance loop
+//! (DESIGN.md §14).
+//!
+//! A live model rots: the market regime drifts away from its training split.
+//! The stream engine asks this policy after every advanced day whether to
+//! retrain. Two triggers, either sufficient:
+//!
+//! - **schedule** — a fixed day-count cadence (`every_days`), the classic
+//!   walk-forward protocol;
+//! - **drift** — the rolling mean of the lagged next-day MRR over the last
+//!   `drift_window` evaluated days fell below `(1 − drift_drop)` of the
+//!   post-fit baseline, the serving-side analogue of the training
+//!   [`HealthMonitor`](rtgcn_telemetry::health::HealthMonitor)'s divergence
+//!   verdicts.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a refit fired (recorded in telemetry and the walk-forward report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefitReason {
+    /// The day-count schedule elapsed.
+    Schedule,
+    /// Rolling ranking quality dropped below the drift threshold.
+    Drift,
+}
+
+/// When to retrain a streaming model. Disabled fields never trigger.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RefitPolicy {
+    /// Refit every `n` advanced days since the last fit. `None` disables
+    /// the schedule trigger.
+    pub every_days: Option<usize>,
+    /// Number of most-recent evaluated days the drift check averages over.
+    /// `0` disables the drift trigger.
+    pub drift_window: usize,
+    /// Relative MRR drop (`0.3` = 30 % below baseline) that counts as drift.
+    pub drift_drop: f32,
+}
+
+impl RefitPolicy {
+    /// Never refit.
+    pub fn disabled() -> Self {
+        RefitPolicy { every_days: None, drift_window: 0, drift_drop: 0.0 }
+    }
+
+    /// Schedule-only policy.
+    pub fn every(days: usize) -> Self {
+        assert!(days > 0, "a zero-day refit cadence would refit every day twice");
+        RefitPolicy { every_days: Some(days), drift_window: 0, drift_drop: 0.0 }
+    }
+
+    /// Drift-only policy.
+    pub fn on_drift(window: usize, drop: f32) -> Self {
+        assert!(window > 0 && drop > 0.0, "drift policy needs a window and a threshold");
+        RefitPolicy { every_days: None, drift_window: window, drift_drop: drop }
+    }
+
+    /// Whether either trigger is armed at all.
+    pub fn is_enabled(&self) -> bool {
+        self.every_days.is_some() || self.drift_window > 0
+    }
+
+    /// Decide after an advanced day. `days_since_fit` counts days appended
+    /// since the last (re)fit; `recent_mrr` is the lagged next-day MRR
+    /// history since the last fit (newest last); `baseline_mrr` is the
+    /// reference quality right after that fit (NaN/non-finite disables the
+    /// drift check until a baseline exists).
+    pub fn should_refit(
+        &self,
+        days_since_fit: usize,
+        recent_mrr: &[f32],
+        baseline_mrr: f32,
+    ) -> Option<RefitReason> {
+        if let Some(n) = self.every_days {
+            if days_since_fit >= n {
+                return Some(RefitReason::Schedule);
+            }
+        }
+        if self.drift_window > 0
+            && baseline_mrr.is_finite()
+            && baseline_mrr > 0.0
+            && recent_mrr.len() >= self.drift_window
+        {
+            let tail = &recent_mrr[recent_mrr.len() - self.drift_window..];
+            let mean = tail.iter().sum::<f32>() / self.drift_window as f32;
+            if mean < baseline_mrr * (1.0 - self.drift_drop) {
+                return Some(RefitReason::Drift);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_never_fires() {
+        let p = RefitPolicy::disabled();
+        assert!(!p.is_enabled());
+        assert_eq!(p.should_refit(10_000, &[0.0; 64], 1.0), None);
+    }
+
+    #[test]
+    fn schedule_fires_on_cadence() {
+        let p = RefitPolicy::every(5);
+        assert_eq!(p.should_refit(4, &[], f32::NAN), None);
+        assert_eq!(p.should_refit(5, &[], f32::NAN), Some(RefitReason::Schedule));
+        assert_eq!(p.should_refit(17, &[], f32::NAN), Some(RefitReason::Schedule));
+    }
+
+    #[test]
+    fn drift_needs_full_window_and_finite_baseline() {
+        let p = RefitPolicy::on_drift(3, 0.5);
+        // Not enough history yet.
+        assert_eq!(p.should_refit(99, &[0.01, 0.01], 0.5), None);
+        // Window full and mean (0.01) < 0.5 × (1 − 0.5) = 0.25 → drift.
+        assert_eq!(p.should_refit(99, &[0.01, 0.01, 0.01], 0.5), Some(RefitReason::Drift));
+        // Healthy recent MRR → no drift.
+        assert_eq!(p.should_refit(99, &[0.5, 0.6, 0.4], 0.5), None);
+        // No baseline yet → drift disarmed.
+        assert_eq!(p.should_refit(99, &[0.01, 0.01, 0.01], f32::NAN), None);
+    }
+
+    #[test]
+    fn drift_averages_only_the_tail() {
+        let p = RefitPolicy::on_drift(2, 0.4);
+        // Old good days must not mask a bad recent tail.
+        let hist = [0.9, 0.9, 0.9, 0.05, 0.05];
+        assert_eq!(p.should_refit(1, &hist, 0.8), Some(RefitReason::Drift));
+    }
+
+    #[test]
+    fn schedule_wins_over_drift_when_both_fire() {
+        let p = RefitPolicy { every_days: Some(1), drift_window: 1, drift_drop: 0.1 };
+        assert_eq!(p.should_refit(1, &[0.0], 1.0), Some(RefitReason::Schedule));
+    }
+}

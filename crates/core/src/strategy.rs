@@ -32,6 +32,14 @@ pub struct StrategyCtx {
     /// CSR layouts + static/frozen normalised adjacencies for the fused
     /// kernels.
     pub cache: NormalizedAdjCache,
+    /// Streaming fast path: a precomputed `(T, E_rel)` correlation factor
+    /// for the time-sensitive strategy, supplied by the day-advance engine's
+    /// per-plane cache. When set (and the dims match the current window),
+    /// [`Self::adjacency_time_sensitive_batched`] uses it as a constant
+    /// instead of re-dotting every plane — inference only, no gradient
+    /// flows back into the features. `None` (always, during training) keeps
+    /// the exact batch path.
+    pub corr_override: Option<Tensor>,
 }
 
 impl StrategyCtx {
@@ -65,6 +73,7 @@ impl StrategyCtx {
             multi_hot,
             uniform_weights: cache.uniform().as_ref().clone(),
             cache,
+            corr_override: None,
         }
     }
 
@@ -165,7 +174,15 @@ impl StrategyCtx {
             // edge_dot has nothing to contribute).
             tape.constant(Tensor::ones([t, n]))
         } else {
-            let corr = tape.edge_dot_batched(&self.rel_edges, x3, (d as f32).sqrt()); // (T, E_rel)
+            let corr = match &self.corr_override {
+                // Streaming inference: the per-plane cache already holds
+                // this window's `X(t)ᵀX(t)/√d`; dims are double-checked so a
+                // stale override (different window length after a TCN
+                // stride, or a mutated edge set) falls back to the exact
+                // computation instead of silently mis-shaping.
+                Some(c) if c.dims() == [t, self.n_rel_edges] => tape.constant(c.clone()),
+                _ => tape.edge_dot_batched(&self.rel_edges, x3, (d as f32).sqrt()), // (T, E_rel)
+            };
             let imp = self.relation_importance(tape, w, b); // (E_rel)
             let raw_rel = tape.mul(corr, imp); // broadcast over planes
             let loops = tape.constant(Tensor::ones([t, n]));

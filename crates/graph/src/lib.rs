@@ -17,10 +17,12 @@
 pub mod cache;
 pub mod hypergraph;
 pub mod norm;
+pub mod plane;
 pub mod relations;
 pub mod rt_graph;
 
 pub use cache::{NormalizedAdjCache, SharedAdjCache};
+pub use plane::TimePlaneCache;
 pub use hypergraph::Hypergraph;
 pub use norm::{renormalize, renormalize_uniform, NormalizedAdjacency, DEGREE_EPS};
 pub use relations::{RelationTensor, RelationType};

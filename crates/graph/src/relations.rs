@@ -56,6 +56,32 @@ impl RelationTensor {
         hot[k] = true;
     }
 
+    /// Clear relation `k` between stocks `i` and `j` (symmetric). If no
+    /// active type remains on the pair, the entry is dropped entirely so the
+    /// pair stops contributing directed edges. Returns whether the flag was
+    /// set. Streaming day events use this to express relations that lapse
+    /// (acquisitions unwound, suppliers switched — MDGNN's dynamic graphs).
+    pub fn disconnect(&mut self, i: usize, j: usize, k: RelationType) -> bool {
+        assert!(i < self.n && j < self.n, "stock index out of range ({i},{j}) for n={}", self.n);
+        assert!(k < self.k_types, "relation type {k} out of range for K={}", self.k_types);
+        let key = Self::key(i, j);
+        let Some(hot) = self.entries.get_mut(&key) else {
+            return false;
+        };
+        let was = hot[k];
+        hot[k] = false;
+        if hot.iter().all(|&b| !b) {
+            self.entries.remove(&key);
+        }
+        was
+    }
+
+    /// Drop the pair `(i, j)` entirely — every relation type at once.
+    /// Returns whether the pair was related.
+    pub fn disconnect_pair(&mut self, i: usize, j: usize) -> bool {
+        self.entries.remove(&Self::key(i, j)).is_some()
+    }
+
     /// Multi-hot vector `a_ij ∈ {0,1}^K`; `None` if the pair is unrelated.
     pub fn multi_hot(&self, i: usize, j: usize) -> Option<&[bool]> {
         self.entries.get(&Self::key(i, j)).map(|v| v.as_slice())
@@ -229,6 +255,30 @@ mod tests {
         assert_eq!(u.multi_hot_f32(0, 1), vec![0., 1., 0., 0., 0.]);
         assert_eq!(u.multi_hot_f32(1, 2), vec![0., 0., 1., 0., 0.]);
         assert_eq!(u.active_types(), 2);
+    }
+
+    #[test]
+    fn disconnect_clears_types_and_drops_empty_pairs() {
+        let mut r = RelationTensor::new(3, 2);
+        r.connect(0, 1, 0);
+        r.connect(0, 1, 1);
+        assert!(r.disconnect(1, 0, 0), "flag was set (symmetric key)");
+        assert!(r.related(0, 1), "one type still active");
+        assert_eq!(r.multi_hot_f32(0, 1), vec![0.0, 1.0]);
+        assert!(!r.disconnect(0, 1, 0), "already cleared");
+        assert!(r.disconnect(0, 1, 1));
+        assert!(!r.related(0, 1), "pair gone once all types cleared");
+        assert!(r.directed_edges().is_empty());
+    }
+
+    #[test]
+    fn disconnect_pair_removes_all_types() {
+        let mut r = RelationTensor::new(3, 2);
+        r.connect(0, 2, 0);
+        r.connect(0, 2, 1);
+        assert!(r.disconnect_pair(2, 0));
+        assert!(!r.related(0, 2));
+        assert!(!r.disconnect_pair(0, 2), "second removal is a no-op");
     }
 
     #[test]

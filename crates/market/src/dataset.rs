@@ -67,6 +67,19 @@ fn industry_leader_edges(industry: &IndustryRelations, seed: u64) -> Vec<crate::
     edges
 }
 
+/// Relation mutations applied between trading days on the streaming path
+/// (the dynamic graphs of MDGNN that a static `𝒜` cannot express): new wiki
+/// edges appear (partnership announced), pairs disappear (relation lapses).
+#[derive(Clone, Debug, Default)]
+pub struct DayEvent {
+    /// New wiki edges. `types` index the wiki type space; the edge also
+    /// becomes a price spillover from `leader` to `follower`.
+    pub add: Vec<crate::relations::WikiEdge>,
+    /// Unordered stock pairs whose wiki relations (and spillovers, both
+    /// directions) cease.
+    pub drop: Vec<(usize, usize)>,
+}
+
 /// A complete market dataset.
 #[derive(Clone, Debug)]
 pub struct StockDataset {
@@ -87,15 +100,76 @@ impl StockDataset {
     /// movement of Figure 1(a) with a causal lag that makes industry
     /// relations genuinely predictive, as Table VI observes).
     pub fn generate(spec: UniverseSpec, seed: u64) -> Self {
+        let days = spec.total_days();
+        Self::generate_through(spec, seed, days)
+    }
+
+    /// Generate the same universe as [`StockDataset::generate`] but with the
+    /// price history truncated after `days` days (same relations, loadings,
+    /// and shock calendar — the shock still lands at `spec.test_start()`
+    /// whether or not that day has been reached yet). The result can be
+    /// rolled forward one day at a time with [`StockDataset::append_day`];
+    /// doing so replays the exact batch RNG/op sequence, so a streamed
+    /// dataset is bit-identical to a batch one of the same length.
+    pub fn generate_through(spec: UniverseSpec, seed: u64, days: usize) -> Self {
         let industry = gen_industry_relations(&spec, seed);
         let wiki = gen_wiki_relations(&spec, seed);
-        let mut cfg =
-            SynthConfig::new(spec.stocks, spec.total_days(), seed, industry.industry_of.clone());
+        let mut cfg = SynthConfig::new(spec.stocks, days, seed, industry.industry_of.clone());
         cfg.spillover_edges = wiki.edges.clone();
         cfg.spillover_edges.extend(industry_leader_edges(&industry, seed));
         cfg.shock_day = Some(spec.test_start());
         let sim = simulate(cfg);
         StockDataset { spec, sim, industry, wiki }
+    }
+
+    /// Days of price history currently generated (may be shorter than
+    /// `spec.total_days()` for a streaming dataset, or longer once the walk
+    /// moves past the spec's nominal test window).
+    pub fn days_generated(&self) -> usize {
+        self.sim.days()
+    }
+
+    /// Apply a relation mutation event, effective from the next generated
+    /// day: added edges start spilling over and enter the wiki relation
+    /// tensor; dropped pairs stop spilling over (both directions, leader
+    /// edges included) and leave the tensor. Mutating relations mid-stream
+    /// invalidates any adjacency derived from the old tensor — callers
+    /// (`StreamEngine`) rebuild their caches when this returns `true`.
+    pub fn apply_event(&mut self, event: &DayEvent) -> bool {
+        let mut relations_changed = false;
+        for e in &event.add {
+            assert!(
+                !e.types.is_empty() && e.types.iter().all(|&t| t < self.wiki.relations.num_types()),
+                "added edge types must fit the wiki type space \
+                 (K={}; CSI-style universes without wiki types cannot take adds)",
+                self.wiki.relations.num_types()
+            );
+            for &t in &e.types {
+                self.wiki.relations.connect(e.leader, e.follower, t);
+            }
+            self.wiki.edges.push(e.clone());
+            self.sim.add_spillover_edge(e.clone());
+            relations_changed = true;
+        }
+        for &(a, b) in &event.drop {
+            let was_related = self.wiki.relations.disconnect_pair(a, b);
+            self.wiki.edges.retain(|e| {
+                !((e.leader == a && e.follower == b) || (e.leader == b && e.follower == a))
+            });
+            self.sim.remove_spillover_edges(a, b);
+            relations_changed |= was_related;
+        }
+        relations_changed
+    }
+
+    /// Advance the market by one day, applying `event`'s relation mutations
+    /// first so they take effect from the new day. Returns the new day's
+    /// index. Pure append: all previously generated prices are untouched.
+    pub fn append_day(&mut self, event: Option<&DayEvent>) -> usize {
+        if let Some(ev) = event {
+            self.apply_event(ev);
+        }
+        self.sim.append_day()
     }
 
     pub fn n_stocks(&self) -> usize {
@@ -223,5 +297,74 @@ mod tests {
         let a = StockDataset::generate(spec.clone(), 5);
         let b = StockDataset::generate(spec, 5);
         assert_eq!(a.sim.prices, b.sim.prices);
+    }
+
+    #[test]
+    fn generate_through_plus_appends_equals_batch() {
+        // Streamed dataset generation crossing the crash shock at
+        // test_start() must be bit-identical to batch generation.
+        let spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        let batch = StockDataset::generate(spec.clone(), 9);
+        let t0 = spec.test_start();
+        let mut streamed = StockDataset::generate_through(spec.clone(), 9, t0);
+        assert_eq!(streamed.days_generated(), t0);
+        while streamed.days_generated() < batch.days_generated() {
+            streamed.append_day(None);
+        }
+        assert_eq!(streamed.sim.prices, batch.sim.prices);
+        assert_eq!(streamed.sim.returns, batch.sim.returns);
+    }
+
+    #[test]
+    fn day_events_mutate_relations_and_spillovers() {
+        let spec = UniverseSpec::of(Market::Nasdaq, Scale::Small);
+        let mut ds = StockDataset::generate_through(spec.clone(), 3, spec.test_start());
+        let k = ds.wiki.relations.num_types();
+        assert!(k > 0, "nasdaq universe has wiki types");
+        // Pick an existing related pair to drop and an unrelated pair to add.
+        let (a, b, _) = ds.wiki.relations.pairs().next().map(|(i, j, h)| (i, j, h.to_vec())).unwrap();
+        let n = ds.n_stocks();
+        let (mut x, mut y) = (0, 1);
+        'outer: for i in 0..n {
+            for j in (i + 1)..n {
+                if !ds.wiki.relations.related(i, j) {
+                    (x, y) = (i, j);
+                    break 'outer;
+                }
+            }
+        }
+        let pairs_before = ds.wiki.relations.num_related_pairs();
+        let edges_before = ds.sim.config.spillover_edges.len();
+        let ev = DayEvent {
+            add: vec![crate::relations::WikiEdge {
+                leader: x,
+                follower: y,
+                types: vec![0],
+                strength: 0.4,
+                period: 10,
+                phase: 0,
+                duty: 1.0,
+            }],
+            drop: vec![(a, b)],
+        };
+        let day = ds.append_day(Some(&ev));
+        assert_eq!(day + 1, ds.days_generated());
+        assert_eq!(ds.wiki.relations.num_related_pairs(), pairs_before, "one in, one out");
+        assert!(ds.wiki.relations.related(x, y));
+        assert!(!ds.wiki.relations.related(a, b));
+        // Spillover list gained the new edge and lost every (a,b) edge.
+        assert!(ds.sim.config.spillover_edges.len() <= edges_before + 1);
+        assert!(ds
+            .sim
+            .config
+            .spillover_edges
+            .iter()
+            .all(|e| !((e.leader == a && e.follower == b) || (e.leader == b && e.follower == a))));
+        assert!(ds
+            .sim
+            .config
+            .spillover_edges
+            .iter()
+            .any(|e| e.leader == x && e.follower == y));
     }
 }

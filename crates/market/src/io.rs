@@ -172,11 +172,8 @@ pub fn dataset_from_parts(
     }
     let industry_of =
         if industry_of.len() == n { industry_of } else { vec![0; n] };
-    let sim = MarketSim {
-        prices,
-        returns,
-        config: SynthConfig::new(n, days, 0, industry_of.clone()),
-    };
+    let sim =
+        MarketSim::from_history(prices, returns, SynthConfig::new(n, days, 0, industry_of.clone()));
     Ok(StockDataset {
         spec,
         sim,

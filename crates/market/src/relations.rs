@@ -34,10 +34,20 @@ fn zipf_sizes(n: usize, groups: usize, s: f64) -> Vec<usize> {
             *sz = 1;
         }
     }
-    // Adjust largest groups to hit the exact total.
+    // Adjust group sizes round-robin to hit the exact total, under an
+    // explicit termination bound instead of the old unbounded spin. Growing
+    // shrinks |diff| on every step; shrinking skips size-1 groups, but any
+    // full pass over the groups must find at least one shrinkable group
+    // (sizes sum to > n ≥ groups, so some size exceeds 1). Hence
+    // `groups × (|diff| + 1)` steps always suffice; exhausting the bound
+    // means that invariant broke, so warn and return the best effort
+    // (callers tolerate an off-by-few total far better than a hang).
     let mut diff = n as i64 - sizes.iter().sum::<usize>() as i64;
+    let bound = groups * (diff.unsigned_abs() as usize + 1);
     let mut g = 0;
-    while diff != 0 {
+    let mut steps = 0;
+    while diff != 0 && steps < bound {
+        steps += 1;
         if diff > 0 {
             sizes[g % groups] += 1;
             diff -= 1;
@@ -46,6 +56,14 @@ fn zipf_sizes(n: usize, groups: usize, s: f64) -> Vec<usize> {
             diff += 1;
         }
         g += 1;
+    }
+    if diff != 0 {
+        rtgcn_telemetry::warn(
+            "relations.zipf_rebalance",
+            &format!(
+                "rebalance bound exhausted with residual {diff} (n={n}, groups={groups}, s={s})"
+            ),
+        );
     }
     sizes
 }
@@ -311,5 +329,26 @@ mod tests {
         let flat = ratio_of_sizes(100, &zipf_sizes(100, 10, 0.0));
         let skewed = ratio_of_sizes(100, &zipf_sizes(100, 10, 2.0));
         assert!(skewed > flat, "skew {skewed} should exceed flat {flat}");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Any valid `(n, groups, s)` must yield sizes that sum exactly to
+        /// `n` with every group non-empty — i.e. the bounded rebalance loop
+        /// always converges, including degenerate all-size-1 partitions and
+        /// extreme skews where the head group swallows nearly everything.
+        #[test]
+        fn zipf_sizes_always_partition_n(
+            (n, groups) in (1usize..250).prop_flat_map(|n| (Just(n), 1usize..n + 1)),
+            s in 0.0f64..4.0,
+        ) {
+            let sizes = zipf_sizes(n, groups, s);
+            prop_assert_eq!(sizes.len(), groups);
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n, "sizes {:?}", &sizes);
+            prop_assert!(sizes.iter().all(|&x| x >= 1), "sizes {:?}", &sizes);
+        }
     }
 }

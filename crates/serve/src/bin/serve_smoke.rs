@@ -1,7 +1,8 @@
 //! Serving smoke harness (`run_experiments.sh --serve-smoke`): train a
 //! tiny RT-GCN for one epoch, checkpoint it to disk, reload, boot the
-//! scoring routes on the monitor server, scrape every endpoint, then run
-//! a short concurrent load test that hot-swaps a second checkpoint in
+//! scoring routes on the monitor server, scrape every endpoint, roll the
+//! registry snapshot forward through the streaming `/advance` route, then
+//! run a short concurrent load test that hot-swaps a second checkpoint in
 //! mid-load. Zero failed requests are tolerated, and every `/rank`
 //! response must carry exactly one of the two installed version ids.
 //!
@@ -193,6 +194,43 @@ fn main() {
         }
         Err(e) => harness_error(HARNESS, &e),
     }
+
+    // Streaming day-advance: two days through the stream engine must roll
+    // the `/rank` snapshot forward under a `+d<day>` version tag.
+    let end_before = registry.get("csi").map(|e| e.end_day).unwrap_or(0);
+    match post(addr, "/advance", "{\"market\":\"csi\",\"days\":2}") {
+        Ok((200, body)) => {
+            if !body.contains(&format!("\"version\":\"{v1}+d")) {
+                harness_error(HARNESS, &format!("/advance: expected a rolled v1 version in {body:?}"));
+            }
+            println!("[{HARNESS}] POST /advance -> 200 OK ({} bytes)", body.len());
+        }
+        Ok((status, body)) => {
+            harness_error(HARNESS, &format!("POST /advance: expected 200, got {status} ({body:?})"))
+        }
+        Err(e) => harness_error(HARNESS, &e),
+    }
+    let end_after = registry.get("csi").map(|e| e.end_day).unwrap_or(0);
+    // The stream seeds at the newest generated day (one past the last
+    // scorable batch end-day), so two advances move end_day forward by 3.
+    if end_after != end_before + 3 {
+        harness_error(
+            HARNESS,
+            &format!("/advance: end_day {end_before} should roll to {}, got {end_after}", end_before + 3),
+        );
+    }
+    match get(addr, "/rank?market=csi&k=3") {
+        Ok((200, body)) if body.contains("+d") => {
+            println!("[{HARNESS}] /rank serves streamed day {end_after} (rolled version)")
+        }
+        Ok((status, body)) => {
+            harness_error(HARNESS, &format!("/rank after advance: {status} ({body:?})"))
+        }
+        Err(e) => harness_error(HARNESS, &e),
+    }
+    // Restore the pristine v1 entry (and drop the stream) so the load
+    // phase sees exactly the two checkpointed versions.
+    registry.install_entry(Arc::clone(&entry_v1));
 
     // Load phase: CLIENT_THREADS hammer /rank while the main thread swaps
     // v1 <-> v2 in a tight loop. Every response must be a 200 carrying one

@@ -7,9 +7,11 @@
 //!   [`rtgcn_core::Checkpoint`] (RT-GCN, LSTM, Rank_LSTM, RSR, STHAN-SR);
 //! - [`registry`] — versioned model registry with atomic hot-swap:
 //!   in-flight requests finish on v(N)'s `Arc` while v(N+1) installs;
-//! - [`api`] — the HTTP routes (`GET /rank`, `POST /score`) plugged into
-//!   the `rtgcn_telemetry::http` monitor server, next to its built-in
-//!   `/healthz` and `/metrics`.
+//! - [`api`] — the HTTP routes (`GET /rank`, `POST /score`, and the
+//!   streaming `POST /advance`) plugged into the `rtgcn_telemetry::http`
+//!   monitor server, next to its built-in `/healthz` and `/metrics`;
+//! - [`reload`] — the checkpoint hot-reload loop (parks entirely when
+//!   `--reload-secs 0`, polls first then sleeps when enabled).
 //!
 //! Binaries: `rtgcn-serve` (the server) and `rtgcn-serve-smoke` (the
 //! `run_experiments.sh --serve-smoke` gate: boot from a checkpoint, scrape
@@ -18,10 +20,12 @@
 pub mod api;
 pub mod probe;
 pub mod registry;
+pub mod reload;
 pub mod servable;
 
 pub use api::install_routes;
 pub use registry::{ModelEntry, Registry};
+pub use reload::{reload_tick, run_reload_loop, ReloadMode};
 pub use servable::{
     build_model, checkpoint_model, market_key, BuiltModel, ServeError,
 };

@@ -13,10 +13,11 @@
 //! on the old version's snapshot.
 
 use rtgcn_core::Checkpoint;
+use rtgcn_serve::reload::{run_reload_loop, ReloadMode};
 use rtgcn_serve::{install_routes, Registry};
 use rtgcn_telemetry::http::Server;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::Duration;
 
 struct Args {
     ckpts: Vec<String>,
@@ -86,30 +87,13 @@ fn main() {
         server.local_addr()
     );
 
-    // Serve until killed; poll checkpoints for hot reload when asked to.
-    let poll = Duration::from_secs(args.reload_secs.max(1));
-    loop {
-        std::thread::sleep(poll);
-        if args.reload_secs == 0 {
-            continue;
-        }
-        for (path, version) in &mut installed {
-            // A failed re-read (mid-write, deleted, corrupt) keeps the
-            // installed version serving — reload is best-effort.
-            let Ok(ckpt) = Checkpoint::load(path.as_str()) else { continue };
-            if ckpt.content_id() == *version {
-                continue;
-            }
-            match registry.install_checkpoint(&ckpt) {
-                Ok(entry) => {
-                    eprintln!(
-                        "[rtgcn-serve] {path}: hot-swapped market {:?} {} -> {}",
-                        entry.market, version, entry.version
-                    );
-                    *version = entry.version.clone();
-                }
-                Err(e) => eprintln!("[rtgcn-serve] {path}: reload failed, keeping {version}: {e}"),
-            }
-        }
-    }
+    // Serve until killed: with reload disabled the main thread parks
+    // (no wakeups at all); with --reload-secs N it polls immediately and
+    // then every N seconds.
+    run_reload_loop(
+        registry,
+        installed,
+        ReloadMode::from_secs(args.reload_secs),
+        Arc::new(AtomicBool::new(false)),
+    );
 }

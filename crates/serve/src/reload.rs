@@ -1,0 +1,217 @@
+//! Checkpoint hot-reload: re-read `--ckpt` files and swap changed ones
+//! into the registry.
+//!
+//! The original serve loop had two bugs this module fixes and pins with
+//! tests:
+//!
+//! - with `--reload-secs 0` (reload disabled) it still woke every second
+//!   just to `continue` — now the loop **parks** and never polls;
+//! - with reload enabled it slept **before** the first poll, so a
+//!   checkpoint staged between boot and the first wake waited a full
+//!   period — now each cycle polls first, then sleeps (`park_timeout`,
+//!   so a stop request interrupts the wait).
+
+use crate::registry::Registry;
+use rtgcn_core::Checkpoint;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the serve loop treats the installed checkpoint files.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReloadMode {
+    /// Never re-read checkpoints; the loop parks without waking.
+    Disabled,
+    /// Poll every period, starting immediately.
+    Every(Duration),
+}
+
+impl ReloadMode {
+    /// The `--reload-secs` mapping: `0` disables reload entirely.
+    pub fn from_secs(secs: u64) -> ReloadMode {
+        match secs {
+            0 => ReloadMode::Disabled,
+            s => ReloadMode::Every(Duration::from_secs(s)),
+        }
+    }
+}
+
+/// One reload pass over `(path, installed-version)` pairs: re-read each
+/// file and hot-swap it when its content id changed, updating the stored
+/// version. Best-effort per file — an unreadable or corrupt checkpoint
+/// (mid-write, deleted) keeps the installed version serving. Returns the
+/// number of swaps performed.
+pub fn reload_tick(registry: &Registry, installed: &mut [(String, String)]) -> usize {
+    poll_counter().inc(1);
+    let mut swapped = 0;
+    for (path, version) in installed.iter_mut() {
+        let Ok(ckpt) = Checkpoint::load(path.as_str()) else { continue };
+        if ckpt.content_id() == *version {
+            continue;
+        }
+        match registry.install_checkpoint(&ckpt) {
+            Ok(entry) => {
+                eprintln!(
+                    "[rtgcn-serve] {path}: hot-swapped market {:?} {} -> {}",
+                    entry.market, version, entry.version
+                );
+                *version = entry.version.clone();
+                swapped += 1;
+            }
+            Err(e) => eprintln!("[rtgcn-serve] {path}: reload failed, keeping {version}: {e}"),
+        }
+    }
+    swapped
+}
+
+/// The serve loop: runs until `stop` is set (check happens on every
+/// wake, so stop + unpark terminates promptly). `Disabled` parks without
+/// ever touching the filesystem; `Every` polls first, then sleeps.
+pub fn run_reload_loop(
+    registry: Arc<Registry>,
+    mut installed: Vec<(String, String)>,
+    mode: ReloadMode,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match mode {
+            ReloadMode::Disabled => std::thread::park(),
+            ReloadMode::Every(period) => {
+                reload_tick(&registry, &mut installed);
+                std::thread::park_timeout(period);
+            }
+        }
+    }
+}
+
+fn poll_counter() -> &'static rtgcn_telemetry::Counter {
+    static C: std::sync::OnceLock<rtgcn_telemetry::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| rtgcn_telemetry::counter("serve.reload.polls"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ProbeConfig, WindowSumProbe};
+    use crate::servable::checkpoint_probe;
+    use rtgcn_core::DataSpec;
+    use rtgcn_market::{Market, RelationKind, Scale, UniverseSpec};
+    use std::path::PathBuf;
+    use std::sync::Mutex;
+
+    /// Serialises the tests that observe the process-global poll counter.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn probe_checkpoint(scale: f32) -> rtgcn_core::Checkpoint {
+        let mut spec = UniverseSpec::of(Market::Csi, Scale::Small);
+        spec.stocks = 4;
+        spec.train_days = 12;
+        spec.test_days = 3;
+        let data = DataSpec { spec, seed: 7, relation_kind: RelationKind::Both };
+        let probe = WindowSumProbe::new(ProbeConfig { t_steps: 2, n_features: 2 }, scale);
+        checkpoint_probe(&probe, &data).unwrap()
+    }
+
+    fn temp_ckpt_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtgcn-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.rtgckpt"))
+    }
+
+    fn polls() -> u64 {
+        rtgcn_telemetry::counter_value("serve.reload.polls")
+    }
+
+    #[test]
+    fn from_secs_maps_zero_to_disabled() {
+        assert_eq!(ReloadMode::from_secs(0), ReloadMode::Disabled);
+        assert_eq!(ReloadMode::from_secs(5), ReloadMode::Every(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn reload_tick_swaps_changed_file_and_tolerates_corruption() {
+        let _g = COUNTER_LOCK.lock().unwrap();
+        let path = temp_ckpt_path("tick");
+        let (v1, v2) = (probe_checkpoint(0.5), probe_checkpoint(2.0));
+        assert_ne!(v1.content_id(), v2.content_id());
+        v1.save(&path).unwrap();
+
+        let registry = Registry::new();
+        registry.install_checkpoint(&v1).unwrap();
+        let mut installed = vec![(path.to_string_lossy().into_owned(), v1.content_id())];
+
+        // Unchanged file: no swap.
+        assert_eq!(reload_tick(&registry, &mut installed), 0);
+        assert_eq!(installed[0].1, v1.content_id());
+
+        // Changed file: exactly one swap, stored version follows, and the
+        // registry serves the new version.
+        v2.save(&path).unwrap();
+        assert_eq!(reload_tick(&registry, &mut installed), 1);
+        assert_eq!(installed[0].1, v2.content_id());
+        assert_eq!(registry.get("csi").unwrap().version, v2.content_id());
+
+        // Corrupt file (mid-write torn bytes): best-effort keeps serving.
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        assert_eq!(reload_tick(&registry, &mut installed), 0);
+        assert_eq!(installed[0].1, v2.content_id());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disabled_loop_parks_without_polling() {
+        let _g = COUNTER_LOCK.lock().unwrap();
+        let registry = Arc::new(Registry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let before = polls();
+        let handle = {
+            let (registry, stop) = (Arc::clone(&registry), Arc::clone(&stop));
+            std::thread::spawn(move || run_reload_loop(registry, Vec::new(), ReloadMode::Disabled, stop))
+        };
+        // The buggy loop woke (and with reload enabled would have polled)
+        // every second; the fixed one parks. Give it real time to
+        // misbehave, then assert the counter never moved.
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(polls(), before, "disabled reload must never poll");
+        stop.store(true, Ordering::Release);
+        handle.thread().unpark();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn enabled_loop_polls_immediately_then_sleeps() {
+        let _g = COUNTER_LOCK.lock().unwrap();
+        let path = temp_ckpt_path("loop");
+        let (v1, v2) = (probe_checkpoint(0.5), probe_checkpoint(2.0));
+        let registry = Arc::new(Registry::new());
+        registry.install_checkpoint(&v1).unwrap();
+        // Stage the changed file BEFORE the loop starts: the fixed loop
+        // polls first, so the swap must land without waiting out the (here
+        // deliberately enormous) sleep period.
+        v2.save(&path).unwrap();
+        let installed = vec![(path.to_string_lossy().into_owned(), v1.content_id())];
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (registry, stop) = (Arc::clone(&registry), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                run_reload_loop(registry, installed, ReloadMode::Every(Duration::from_secs(3600)), stop)
+            })
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while registry.get("csi").unwrap().version != v2.content_id() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "first poll never happened (sleep-before-poll regression)"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Release);
+        handle.thread().unpark();
+        handle.join().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

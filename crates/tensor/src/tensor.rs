@@ -71,6 +71,15 @@ impl Tensor {
         Tensor { shape: Shape(vec![r, c]), data }
     }
 
+    /// Append one row to a rank-2 tensor in place (amortised O(row) — the
+    /// streaming day-advance path grows price/return histories this way).
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(self.shape.rank(), 2, "push_row needs a rank-2 tensor");
+        assert_eq!(row.len(), self.shape.0[1], "row length must match the column count");
+        self.data.extend_from_slice(row);
+        self.shape.0[0] += 1;
+    }
+
     /// Identity matrix of size `n`.
     pub fn eye(n: usize) -> Self {
         let mut t = Tensor::zeros([n, n]);

@@ -3,7 +3,7 @@
 # paper-style table to its log and writes a JSON artifact into results/;
 # telemetry JSONL streams land next to the .txt captures (see --logs).
 #
-# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke] [--serve-smoke]
+# Usage: ./run_experiments.sh [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke] [--serve-smoke] [--stream-smoke]
 #   --logs DIR        directory for harness stdout captures and telemetry
 #                     JSONL (default results/logs; forwarded to every
 #                     harness binary)
@@ -45,6 +45,17 @@
 #                     histograms into results/BENCH_serve.json and, if
 #                     results/BENCH_serve.baseline.json exists, diffs
 #                     against it; also runs inside the default queue's gate
+#   --stream-smoke    streaming-pipeline gate (skips the full queue): build,
+#                     then run rtgcn-stream-smoke — train a 1-seed RT-GCN
+#                     just before the crash shock and walk it forward day
+#                     by day through the streaming engine (incremental
+#                     features, per-plane adjacency refresh, one edge add
+#                     and one drop, scheduled refits), proving bitwise
+#                     parity against a from-scratch rebuild; folds the
+#                     walk-forward MRR/IRR series into
+#                     results/BENCH_stream.json and, if
+#                     results/BENCH_stream.baseline.json exists, diffs
+#                     against it; also runs inside the default queue's gate
 #   --resume          resume smoke check (skips the full queue): start a
 #                     parallel table4 run, kill it after the first job lands
 #                     in the jobs-*.jsonl journal, rerun to completion, and
@@ -67,6 +78,7 @@ LINT=0
 PROFILE=0
 MONITOR_SMOKE=0
 SERVE_SMOKE=0
+STREAM_SMOKE=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --logs)
@@ -86,8 +98,10 @@ while [ $# -gt 0 ]; do
       MONITOR_SMOKE=1; shift ;;
     --serve-smoke)
       SERVE_SMOKE=1; shift ;;
+    --stream-smoke)
+      STREAM_SMOKE=1; shift ;;
     *)
-      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke] [--serve-smoke])" >&2; exit 2 ;;
+      echo "error[run_experiments]: unknown flag $1 (usage: [--logs DIR] [--bench-snapshot] [--verify-perf] [--resume] [--lint] [--profile] [--monitor-smoke] [--serve-smoke] [--stream-smoke])" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$R"
@@ -115,6 +129,30 @@ serve_smoke_pass() {
   if [ -f results/BENCH_serve.baseline.json ]; then
     $B/rtgcn-report --baseline results/BENCH_serve.baseline.json \
       results/BENCH_serve.json --threshold 1.5
+  fi
+}
+
+# Streaming day-advance smoke: train a 1-seed RT-GCN truncated right before
+# the crash shock, walk it forward day by day through the stream engine
+# (edge add + drop mid-walk, 5-day refit cadence), and demand bitwise
+# parity against a from-scratch rebuild. Folds the walk-forward MRR/IRR
+# gauges and scoring-latency histogram into results/BENCH_stream.json.
+# Shared by the --stream-smoke early exit and the default queue's gate.
+stream_smoke_pass() {
+  S="$R/stream-smoke"
+  rm -rf "$S"
+  mkdir -p "$S"
+  $B/rtgcn-stream-smoke --logs "$S" --seeds 1 --epochs 2 > "$S/stream_smoke.txt" 2>&1 \
+    || { cat "$S/stream_smoke.txt" >&2; echo STREAM_SMOKE_FAIL >&2; exit 5; }
+  grep -q 'streaming parity verified' "$S/stream_smoke.txt" \
+    || { echo "STREAM_SMOKE_FAIL: parity marker missing in $S/stream_smoke.txt" >&2; exit 5; }
+  grep -q 'walk-forward:' "$S/stream_smoke.txt" \
+    || { echo "STREAM_SMOKE_FAIL: walk-forward marker missing in $S/stream_smoke.txt" >&2; exit 5; }
+  $B/rtgcn-report --logs "$S" --harness stream_smoke \
+    --out results/BENCH_stream.json --md "$S/BENCH_stream.md"
+  if [ -f results/BENCH_stream.baseline.json ]; then
+    $B/rtgcn-report --baseline results/BENCH_stream.baseline.json \
+      results/BENCH_stream.json --threshold 1.5
   fi
 }
 
@@ -151,6 +189,15 @@ if [ "$SERVE_SMOKE" = 1 ]; then
   cargo build --release --workspace
   serve_smoke_pass
   echo SERVE_SMOKE_OK
+  exit 0
+fi
+
+if [ "$STREAM_SMOKE" = 1 ]; then
+  # Streaming-pipeline gate only: the same pass the default queue runs
+  # after the serve smoke.
+  cargo build --release --workspace
+  stream_smoke_pass
+  echo STREAM_SMOKE_OK
   exit 0
 fi
 
@@ -259,6 +306,9 @@ RTGCN_JOBS=2 $B/rtgcn-monitor-smoke --logs "$M" --seeds 1 --epochs 1 > "$M/monit
 # registry, /rank + /score) must survive a concurrent load test before the
 # queue's long harnesses run.
 serve_smoke_pass
+# Streaming smoke: the day-advance pipeline must stay bit-identical to a
+# batch rebuild (edge mutations, refits and all) on every queue run.
+stream_smoke_pass
 $B/table2_dataset_stats --logs "$R"                    > $R/table2.txt 2>&1
 $B/table3_relation_stats --logs "$R"                   > $R/table3.txt 2>&1
 RTGCN_JOBS=1 $B/table4_baselines --logs "$R" --markets csi    --seeds 3 --epochs 3 > $R/table4_csi.txt 2>&1
